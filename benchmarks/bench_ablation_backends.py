@@ -1,0 +1,41 @@
+"""Ablation: neighbourhood-ops backend choice (DESIGN.md §5).
+
+Times 100 rounds of the 2-state process on the same graphs under the
+dense, sparse and pure-python backends.  The auto heuristic in
+``make_neighbor_ops`` is justified by these numbers.
+"""
+
+import pytest
+
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.generators import complete_graph
+from repro.graphs.random_graphs import gnp_random_graph
+
+_DENSE_GRAPH = complete_graph(512)
+_SPARSE_GRAPH = gnp_random_graph(4096, 0.002, rng=1)
+
+
+def _steps(graph, backend: str, rounds: int = 100):
+    proc = TwoStateMIS(graph, coins=3, backend=backend, init="all_black")
+    proc.step(rounds)
+
+
+@pytest.mark.parametrize("backend", ["dense", "sparse"])
+def test_dense_graph_backend(benchmark, backend):
+    benchmark.pedantic(
+        lambda: _steps(_DENSE_GRAPH, backend), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("backend", ["dense", "sparse"])
+def test_sparse_graph_backend(benchmark, backend):
+    benchmark.pedantic(
+        lambda: _steps(_SPARSE_GRAPH, backend), rounds=3, iterations=1
+    )
+
+
+def test_adjlist_reference_small(benchmark):
+    graph = gnp_random_graph(256, 0.05, rng=2)
+    benchmark.pedantic(
+        lambda: _steps(graph, "adjlist", rounds=20), rounds=3, iterations=1
+    )

@@ -1,0 +1,45 @@
+"""Engine throughput: rounds/second for each process at scale.
+
+Not tied to a paper claim — this is the systems-level benchmark a
+downstream user cares about when sizing simulations.
+"""
+
+from repro.core.three_color import ThreeColorMIS
+from repro.core.three_state import ThreeStateMIS
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.random_graphs import gnp_random_graph
+
+_GRAPH_LARGE = gnp_random_graph(50_000, 1e-4, rng=1)   # avg degree ~5
+_GRAPH_MEDIUM = gnp_random_graph(4096, 0.01, rng=2)    # avg degree ~41
+
+
+def _run_rounds(process, rounds: int):
+    process.step(rounds)
+
+
+def test_two_state_50k_vertices(benchmark):
+    proc = TwoStateMIS(_GRAPH_LARGE, coins=1, init="all_black")
+    benchmark.pedantic(
+        lambda: _run_rounds(proc, 50), rounds=3, iterations=1
+    )
+
+
+def test_two_state_4k_vertices(benchmark):
+    proc = TwoStateMIS(_GRAPH_MEDIUM, coins=2, init="all_black")
+    benchmark.pedantic(
+        lambda: _run_rounds(proc, 200), rounds=3, iterations=1
+    )
+
+
+def test_three_state_4k_vertices(benchmark):
+    proc = ThreeStateMIS(_GRAPH_MEDIUM, coins=3)
+    benchmark.pedantic(
+        lambda: _run_rounds(proc, 200), rounds=3, iterations=1
+    )
+
+
+def test_three_color_4k_vertices(benchmark):
+    proc = ThreeColorMIS(_GRAPH_MEDIUM, coins=4, a=16.0)
+    benchmark.pedantic(
+        lambda: _run_rounds(proc, 200), rounds=3, iterations=1
+    )

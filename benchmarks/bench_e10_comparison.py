@@ -1,0 +1,56 @@
+"""E10 — Processes vs baselines (and Remark 10 on K_n)."""
+
+from repro.baselines.luby import luby_mis
+from repro.baselines.sequential import SequentialSelfStabilizingMIS
+from repro.core.three_state import ThreeStateMIS
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.sim.runner import run_until_stable
+
+import numpy as np
+
+_GRAPH = gnp_random_graph(512, 0.02, rng=7)
+
+
+def test_e10_regenerate(regen):
+    regen("E10")
+
+
+def test_two_state_on_suite_graph(benchmark):
+    def run():
+        result = run_until_stable(
+            TwoStateMIS(_GRAPH, coins=1), max_rounds=100_000
+        )
+        assert result.stabilized
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+
+
+def test_three_state_on_suite_graph(benchmark):
+    def run():
+        result = run_until_stable(
+            ThreeStateMIS(_GRAPH, coins=2), max_rounds=100_000
+        )
+        assert result.stabilized
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+
+
+def test_luby_on_suite_graph(benchmark):
+    def run():
+        mis, phases = luby_mis(_GRAPH, rng=3)
+        assert len(mis) > 0
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+
+
+def test_sequential_on_suite_graph(benchmark):
+    rng = np.random.default_rng(4)
+    init = rng.random(_GRAPH.n) < 0.5
+
+    def run():
+        algo = SequentialSelfStabilizingMIS(_GRAPH, init=init.copy())
+        moves = algo.run()
+        assert moves <= 2 * _GRAPH.n
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,28 @@
+"""E11 — transient-fault recovery campaigns."""
+
+import math
+
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.models.faults import FaultInjectionCampaign, RandomCorruption
+
+
+def test_e11_regenerate(regen):
+    regen("E11")
+
+
+def test_fault_campaign_n512(benchmark):
+    n = 512
+    graph = gnp_random_graph(n, 3 * math.log(n) / n, rng=1)
+    campaign = FaultInjectionCampaign(
+        lambda s: TwoStateMIS(graph, coins=s),
+        corruption=RandomCorruption(0.5),
+        injections=2,
+        max_rounds=100_000,
+    )
+
+    def run():
+        summary = campaign.run(trials=3, seed=2)
+        assert summary["failures"] == 0
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

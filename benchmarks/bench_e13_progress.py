@@ -1,0 +1,24 @@
+"""E13 — per-regime |V_t| decay (Lemmas 21-23)."""
+
+import math
+
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.random_graphs import gnp_random_graph
+
+
+def test_e13_regenerate(regen):
+    regen("E13")
+
+
+def test_trajectory_with_aggregates_n1024(benchmark):
+    n = 1024
+    graph = gnp_random_graph(n, 6 * math.log(n) / n, rng=1)
+
+    def run():
+        proc = TwoStateMIS(graph, coins=2)
+        for _ in range(50):
+            proc.unstable_mask()
+            proc.active_mask()
+            proc.step()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,19 @@
+"""E14 — Lemma 13's activation inequality q >= p^α."""
+
+from repro.experiments.exp_lemma13 import _configs, _estimate
+from repro.sim.rng import spawn_seeds
+
+
+def test_e14_regenerate(regen):
+    regen("E14")
+
+
+def test_lemma13_estimation_batch(benchmark):
+    graph, init, u = _configs()["two-hubs"]
+    seeds = spawn_seeds(0, 500)
+
+    def run():
+        p_hat, q_hat, _ = _estimate(graph, init, u, 500, seeds)
+        assert 0 <= p_hat <= 1 and 0 <= q_hat <= 1
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,49 @@
+"""E15 — conjecture stress test (2-state polylog on hard families)."""
+
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.generators import (
+    barbell_graph,
+    complete_bipartite_graph,
+    hypercube_graph,
+)
+from repro.sim.runner import run_until_stable
+
+
+def test_e15_regenerate(regen):
+    regen("E15")
+
+
+def test_complete_bipartite_n1024(benchmark):
+    graph = complete_bipartite_graph(512, 512)
+
+    def run():
+        result = run_until_stable(
+            TwoStateMIS(graph, coins=1), max_rounds=200_000
+        )
+        assert result.stabilized
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_barbell_n1024(benchmark):
+    graph = barbell_graph(400, 224)
+
+    def run():
+        result = run_until_stable(
+            TwoStateMIS(graph, coins=2), max_rounds=200_000
+        )
+        assert result.stabilized
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_hypercube_dim10(benchmark):
+    graph = hypercube_graph(10)
+
+    def run():
+        result = run_until_stable(
+            TwoStateMIS(graph, coins=3), max_rounds=200_000
+        )
+        assert result.stabilized
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,28 @@
+"""E16 — scheduler robustness (partial synchrony)."""
+
+import math
+
+from repro.core.schedulers import (
+    IndependentScheduler,
+    ScheduledTwoStateMIS,
+)
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.sim.runner import run_until_stable
+
+_N = 512
+_GRAPH = gnp_random_graph(_N, 3 * math.log(_N) / _N, rng=3)
+
+
+def test_e16_regenerate(regen):
+    regen("E16")
+
+
+def test_half_participation_run(benchmark):
+    def run():
+        proc = ScheduledTwoStateMIS(
+            _GRAPH, scheduler=IndependentScheduler(0.5), coins=1
+        )
+        result = run_until_stable(proc, max_rounds=400 * _N)
+        assert result.stabilized
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,33 @@
+"""E17 — 3-state process study."""
+
+from repro.core.three_state import ThreeStateMIS
+from repro.graphs.generators import complete_graph, disjoint_cliques
+from repro.sim.runner import run_until_stable
+
+
+def test_e17_regenerate(regen):
+    regen("E17")
+
+
+def test_three_state_clique_n1024(benchmark):
+    graph = complete_graph(1024)
+
+    def run():
+        result = run_until_stable(
+            ThreeStateMIS(graph, coins=1), max_rounds=100_000
+        )
+        assert result.stabilized
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_three_state_disjoint_cliques(benchmark):
+    graph = disjoint_cliques(32, 32)
+
+    def run():
+        result = run_until_stable(
+            ThreeStateMIS(graph, coins=2), max_rounds=100_000
+        )
+        assert result.stabilized
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

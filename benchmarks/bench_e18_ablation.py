@@ -1,0 +1,5 @@
+"""E18 — design ablations as a regenerable experiment."""
+
+
+def test_e18_regenerate(regen):
+    regen("E18")

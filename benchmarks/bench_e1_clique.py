@@ -1,0 +1,33 @@
+"""E1 — Theorem 8: 2-state MIS on complete graphs.
+
+``test_e1_regenerate`` re-runs the full experiment (n-sweep + tail
+table); the micro-benches time single stabilization runs at two sizes.
+"""
+
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.generators import complete_graph
+from repro.sim.runner import run_until_stable
+
+
+def test_e1_regenerate(regen):
+    regen("E1")
+
+
+def _run_clique(n: int, seed: int) -> int:
+    result = run_until_stable(
+        TwoStateMIS(complete_graph(n), coins=seed), max_rounds=100_000
+    )
+    assert result.stabilized
+    return result.stabilization_round
+
+
+def test_clique_n256_stabilization(benchmark):
+    benchmark.pedantic(
+        lambda: _run_clique(256, 1), rounds=5, iterations=1
+    )
+
+
+def test_clique_n1024_stabilization(benchmark):
+    benchmark.pedantic(
+        lambda: _run_clique(1024, 2), rounds=3, iterations=1
+    )

@@ -1,0 +1,34 @@
+"""E2 — Theorem 11: 2-state MIS on bounded-arboricity graphs."""
+
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.generators import grid_graph
+from repro.graphs.random_graphs import random_tree
+from repro.sim.runner import run_until_stable
+
+
+def test_e2_regenerate(regen):
+    regen("E2")
+
+
+def test_random_tree_n4096(benchmark):
+    graph = random_tree(4096, rng=1)
+
+    def run():
+        result = run_until_stable(
+            TwoStateMIS(graph, coins=2), max_rounds=100_000
+        )
+        assert result.stabilized
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_grid_64x64(benchmark):
+    graph = grid_graph(64, 64)
+
+    def run():
+        result = run_until_stable(
+            TwoStateMIS(graph, coins=3), max_rounds=100_000
+        )
+        assert result.stabilized
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

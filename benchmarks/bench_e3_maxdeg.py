@@ -1,0 +1,33 @@
+"""E3 — Theorem 12: O(Δ log n) bound on random regular graphs."""
+
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.random_graphs import random_regular_graph
+from repro.sim.runner import run_until_stable
+
+
+def test_e3_regenerate(regen):
+    regen("E3")
+
+
+def test_regular_d8_n1024(benchmark):
+    graph = random_regular_graph(1024, 8, rng=1)
+
+    def run():
+        result = run_until_stable(
+            TwoStateMIS(graph, coins=2), max_rounds=100_000
+        )
+        assert result.stabilized
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_regular_d32_n512(benchmark):
+    graph = random_regular_graph(512, 32, rng=3)
+
+    def run():
+        result = run_until_stable(
+            TwoStateMIS(graph, coins=4), max_rounds=100_000
+        )
+        assert result.stabilized
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

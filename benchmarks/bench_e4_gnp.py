@@ -1,0 +1,49 @@
+"""E4 — Theorem 19: 2-state MIS on G(n,p), covered regimes."""
+
+import math
+
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.sim.runner import run_until_stable
+
+
+def test_e4_regenerate(regen):
+    regen("E4")
+
+
+def test_gnp_sparse_n2048(benchmark):
+    n = 2048
+    graph = gnp_random_graph(n, math.log(n) / n, rng=1)
+
+    def run():
+        result = run_until_stable(
+            TwoStateMIS(graph, coins=2), max_rounds=100_000
+        )
+        assert result.stabilized
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_gnp_boundary_sqrt_n1024(benchmark):
+    n = 1024
+    graph = gnp_random_graph(n, n ** -0.5, rng=3)
+
+    def run():
+        result = run_until_stable(
+            TwoStateMIS(graph, coins=4), max_rounds=100_000
+        )
+        assert result.stabilized
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_gnp_dense_n512(benchmark):
+    graph = gnp_random_graph(512, 0.3, rng=5)
+
+    def run():
+        result = run_until_stable(
+            TwoStateMIS(graph, coins=6), max_rounds=100_000
+        )
+        assert result.stabilized
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,22 @@
+"""E5 — Remark 9: √n disjoint K_√n (the Θ(log² n) lower-bound family)."""
+
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.generators import disjoint_cliques
+from repro.sim.runner import run_until_stable
+
+
+def test_e5_regenerate(regen):
+    regen("E5")
+
+
+def test_disjoint_cliques_32x32(benchmark):
+    graph = disjoint_cliques(32, 32)
+
+    def run():
+        result = run_until_stable(
+            TwoStateMIS(graph, coins=1), max_rounds=100_000
+        )
+        assert result.stabilized
+        assert len(result.mis) == 32
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

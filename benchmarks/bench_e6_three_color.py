@@ -1,0 +1,35 @@
+"""E6 — Theorem 32: 3-color MIS on G(n,p) across all densities."""
+
+from repro.core.three_color import ThreeColorMIS
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.sim.runner import run_until_stable
+
+
+def test_e6_regenerate(regen):
+    regen("E6")
+
+
+def test_three_color_middle_regime_n512(benchmark):
+    n = 512
+    graph = gnp_random_graph(n, n ** -0.25, rng=1)
+
+    def run():
+        result = run_until_stable(
+            ThreeColorMIS(graph, coins=2, a=16.0), max_rounds=200_000
+        )
+        assert result.stabilized
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_three_color_complete_range_p1(benchmark):
+    graph = gnp_random_graph(512, 1.0, rng=3)
+
+    def run():
+        result = run_until_stable(
+            ThreeColorMIS(graph, coins=4, a=16.0), max_rounds=200_000
+        )
+        assert result.stabilized
+        assert len(result.mis) == 1
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,30 @@
+"""E7 — Lemma 27: the randomized logarithmic switch's run-length properties."""
+
+from repro.core.switch import RandomizedLogSwitch
+from repro.graphs.generators import complete_graph
+from repro.graphs.random_graphs import gnp_random_graph
+
+
+def test_e7_regenerate(regen):
+    regen("E7")
+
+
+def test_switch_throughput_clique_n512(benchmark):
+    switch = RandomizedLogSwitch(complete_graph(512), coins=1, zeta=0.125)
+
+    def run():
+        for _ in range(100):
+            switch.step()
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+
+
+def test_switch_throughput_sparse_n4096(benchmark):
+    graph = gnp_random_graph(4096, 0.001, rng=2)
+    switch = RandomizedLogSwitch(graph, coins=3, zeta=0.125)
+
+    def run():
+        for _ in range(100):
+            switch.step()
+
+    benchmark.pedantic(run, rounds=5, iterations=1)

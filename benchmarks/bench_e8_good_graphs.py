@@ -1,0 +1,27 @@
+"""E8 — Lemma 18: good-graph property checking on G(n,p) samples."""
+
+from repro.graphs.good import check_good_graph, check_p5_common_neighbors
+from repro.graphs.random_graphs import gnp_random_graph
+
+
+def test_e8_regenerate(regen):
+    regen("E8")
+
+
+def test_full_goodness_check_n256(benchmark):
+    graph = gnp_random_graph(256, 0.1, rng=1)
+
+    def run():
+        report = check_good_graph(graph, 0.1, rng=2, samples=20)
+        assert report.all_hold
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_p5_exact_check_n1024(benchmark):
+    graph = gnp_random_graph(1024, 0.05, rng=3)
+
+    def run():
+        assert check_p5_common_neighbors(graph, 0.05).holds
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

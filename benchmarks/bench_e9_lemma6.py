@@ -1,0 +1,28 @@
+"""E9 — Lemmas 6/7: Monte-Carlo verification of the activity bounds."""
+
+from repro.experiments.exp_lemma6 import _multi_star_trial, _star_trial
+from repro.sim.rng import spawn_seeds
+
+
+def test_e9_regenerate(regen):
+    regen("E9")
+
+
+def test_lemma6_trial_batch(benchmark):
+    seeds = spawn_seeds(0, 200)
+
+    def run():
+        hits = sum(_star_trial(8, s) for s in seeds)
+        assert hits >= 0
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_lemma7_trial_batch(benchmark):
+    seeds = spawn_seeds(1, 100)
+
+    def run():
+        hits = sum(_multi_star_trial(8, 8, s) for s in seeds)
+        assert hits >= 0
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

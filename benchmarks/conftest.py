@@ -1,0 +1,33 @@
+"""Benchmark-suite helpers.
+
+Each ``bench_eN_*.py`` regenerates one experiment (the reproduction's
+analogue of the paper's tables/figures — see DESIGN.md §4) inside a
+pytest-benchmark measurement, asserts its verdicts, and adds
+micro-benchmarks of the underlying workload.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def regen(benchmark):
+    """Run an experiment once under the benchmark timer and assert it.
+
+    Returns the ExperimentResult so benches can attach extra info.
+    """
+    from repro.experiments.registry import run_experiment
+
+    def _run(experiment_id: str, seed: int = 0):
+        result = benchmark.pedantic(
+            lambda: run_experiment(experiment_id, fast=True, seed=seed),
+            rounds=1,
+            iterations=1,
+        )
+        assert result.passed, result.report()
+        return result
+
+    return _run

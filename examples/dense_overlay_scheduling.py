@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Dense-overlay transmission scheduling: where the 3-color process earns
+its extra states.
+
+Scenario: a dense wireless backhaul (interference graph close to
+G(n, p) with moderate p) must repeatedly schedule a set of
+non-conflicting transmitters covering all routers — an MIS of the
+interference graph.  Dense mid-range densities (p around n^-1/4) are
+exactly the regime where the paper's 2-state analysis gives no bound
+and the 3-color process (Definition 28) provably stays poly-logarithmic
+(Theorem 32).
+
+This example runs both processes on the same dense interference graphs
+across increasing density, prints the comparison, and then demonstrates
+the 3-color machinery explicitly: the gray "cool-down" state and the
+logarithmic switch that meters re-entry.
+
+Run:  python examples/dense_overlay_scheduling.py
+"""
+
+import numpy as np
+
+from repro import (
+    ThreeColorMIS,
+    TwoStateMIS,
+    assert_valid_mis,
+    gnp_random_graph,
+    run_until_stable,
+)
+
+
+def main() -> None:
+    n = 400
+    rng_seed = 9
+    print(f"interference graphs: G({n}, p) at increasing density\n")
+    header = f"{'p':>8}  {'2-state rounds':>15}  {'3-color rounds':>15}"
+    print(header)
+    print("-" * len(header))
+    for p in (0.05, float(n) ** -0.25, 0.3, 0.6, 1.0):
+        graph = gnp_random_graph(n, p, rng=rng_seed)
+        two = TwoStateMIS(graph, coins=1)
+        three = ThreeColorMIS(graph, coins=2, a=16.0)
+        r2 = run_until_stable(two, max_rounds=200_000)
+        r3 = run_until_stable(three, max_rounds=200_000)
+        assert_valid_mis(graph, r2.mis)
+        assert_valid_mis(graph, r3.mis)
+        print(f"{p:8.3f}  {r2.stabilization_round:15d}  "
+              f"{r3.stabilization_round:15d}")
+
+    # --- a look inside the 3-color machinery ---
+    print("\ninside the 3-color process (n=200, p=0.25):")
+    graph = gnp_random_graph(200, 0.25, rng=3)
+    proc = ThreeColorMIS(graph, coins=4, a=16.0)
+    for t in range(0, 40, 5):
+        black = int(proc.black_mask().sum())
+        gray = int(proc.gray_mask().sum())
+        on = int(proc.switch.sigma().sum())
+        print(f"  round {t:3d}: black={black:4d}  gray(cooling)={gray:4d}  "
+              f"switch-on={on:4d}")
+        proc.step(5)
+    result = run_until_stable(proc, max_rounds=200_000)
+    print(f"  stabilized at round {proc.round}: "
+          f"{len(result.mis)} transmitters scheduled")
+
+
+if __name__ == "__main__":
+    main()

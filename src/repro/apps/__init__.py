@@ -1,0 +1,33 @@
+"""Applications built on the self-stabilizing MIS processes.
+
+The paper's introduction motivates MIS by its role in distributed
+symmetry breaking [24]; this package realizes the two classic
+reductions *on top of the paper's processes*, so both applications
+inherit self-stabilization, constant state per (virtual) node and weak
+communication:
+
+* :mod:`repro.apps.coloring` — (Δ+1)-coloring via MIS of the
+  palette-product graph;
+* :mod:`repro.apps.matching` — maximal matching via MIS of the line
+  graph.
+"""
+
+from repro.apps.coloring import (
+    SelfStabilizingColoring,
+    coloring_from_mis,
+    verify_proper_coloring,
+)
+from repro.apps.matching import (
+    SelfStabilizingMatching,
+    matching_from_mis,
+    verify_maximal_matching,
+)
+
+__all__ = [
+    "SelfStabilizingColoring",
+    "coloring_from_mis",
+    "verify_proper_coloring",
+    "SelfStabilizingMatching",
+    "matching_from_mis",
+    "verify_maximal_matching",
+]

@@ -1,0 +1,122 @@
+"""(Δ+1)-coloring via self-stabilizing MIS (Luby's reduction, [24]).
+
+Each vertex simulates Δ+1 virtual nodes, one per candidate color, on
+the product graph of :func:`repro.graphs.transforms.color_product_graph`.
+An MIS of the product picks exactly one color per vertex, and the picks
+form a proper coloring:
+
+* the palette clique forces ≤ 1 chosen color per vertex;
+* the cross edges forbid equal colors across an edge of G;
+* maximality forces ≥ 1 chosen color: if v had none, each (v, c) must
+  have a chosen neighbour, which can only be (u, c) for u ~ v — but v
+  has at most Δ neighbours and Δ+1 colors, a pigeonhole contradiction.
+
+Because the underlying MIS process is self-stabilizing, so is the
+coloring: corrupt every vertex's color choices and the system
+re-converges to a proper coloring with no restart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.graph import Graph
+from repro.graphs.transforms import color_product_graph
+from repro.sim.rng import CoinSource
+from repro.sim.runner import run_until_stable
+
+
+def coloring_from_mis(
+    mis_vertices: np.ndarray, n: int, palette: int
+) -> np.ndarray:
+    """Decode a product-graph MIS into a color assignment.
+
+    Returns an int array of length n with entries in ``0..palette-1``.
+
+    Raises
+    ------
+    ValueError
+        If some vertex has zero or multiple chosen colors (i.e. the
+        input is not an MIS of the product graph).
+    """
+    colors = np.full(n, -1, dtype=np.int64)
+    for pv in np.asarray(mis_vertices).tolist():
+        v, c = divmod(int(pv), palette)
+        if colors[v] != -1:
+            raise ValueError(f"vertex {v} chose two colors")
+        colors[v] = c
+    missing = np.flatnonzero(colors < 0)
+    if missing.size:
+        raise ValueError(f"vertices without a color: {missing.tolist()}")
+    return colors
+
+
+def verify_proper_coloring(graph: Graph, colors: np.ndarray) -> None:
+    """Raise ``AssertionError`` if the assignment is not proper."""
+    colors = np.asarray(colors)
+    if colors.shape != (graph.n,):
+        raise ValueError("colors must have one entry per vertex")
+    bad = [
+        (u, v) for u, v in graph.edges() if colors[u] == colors[v]
+    ]
+    if bad:
+        raise AssertionError(
+            f"{len(bad)} monochromatic edge(s), e.g. {bad[:5]}"
+        )
+
+
+class SelfStabilizingColoring:
+    """Distributed (Δ+1)-coloring on top of the 2-state MIS process.
+
+    Parameters
+    ----------
+    graph:
+        The graph to color.
+    coins, process_cls:
+        Passed to the underlying MIS process on the product graph
+        (default :class:`TwoStateMIS`; any MISProcess works).
+    palette:
+        Number of colors (default Δ+1; fewer may not admit a coloring
+        and then the underlying process simply cannot stabilize to a
+        full assignment — callers own that choice).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        coins: CoinSource | int | np.random.Generator | None = None,
+        palette: int | None = None,
+        process_cls=TwoStateMIS,
+    ) -> None:
+        self.graph = graph
+        self.product, self.palette = color_product_graph(graph, palette)
+        self.process = process_cls(self.product, coins=coins)
+
+    def run(self, max_rounds: int = 1_000_000) -> np.ndarray:
+        """Run to stabilization; returns the verified color assignment."""
+        result = run_until_stable(self.process, max_rounds=max_rounds)
+        if not result.stabilized:
+            raise RuntimeError(
+                f"coloring did not stabilize within {max_rounds} rounds"
+            )
+        colors = coloring_from_mis(
+            result.mis, self.graph.n, self.palette
+        )
+        verify_proper_coloring(self.graph, colors)
+        return colors
+
+    def corrupt_all(self, rng: np.random.Generator | int | None = None) -> None:
+        """Transient fault: randomize every virtual node's state."""
+        gen = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+        states = self.process.state_vector()
+        if states.dtype == bool:
+            self.process.corrupt(gen.random(len(states)) < 0.5)
+        else:
+            self.process.corrupt(
+                gen.integers(0, 3, size=len(states)).astype(states.dtype)
+            )

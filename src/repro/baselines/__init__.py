@@ -1,0 +1,31 @@
+"""Baseline MIS algorithms the paper positions itself against.
+
+* :mod:`repro.baselines.luby` — Luby's classic O(log n) randomized
+  algorithm (not self-stabilizing; super-constant states/messages).
+* :mod:`repro.baselines.greedy` — sequential greedy MIS (the centralized
+  reference solution).
+* :mod:`repro.baselines.sequential` — the sequential self-stabilizing
+  deterministic algorithm of Shukla et al. [28] / Hedetniemi et al. [20]
+  under central / adversarial daemons, plus its randomized variant that
+  stabilizes under the synchronous daemon.
+"""
+
+from repro.baselines.luby import LubyMIS, luby_mis
+from repro.baselines.greedy import greedy_mis, random_order_greedy_mis
+from repro.baselines.sequential import (
+    SequentialSelfStabilizingMIS,
+    AdversarialDaemon,
+    CentralDaemon,
+    RandomDaemon,
+)
+
+__all__ = [
+    "LubyMIS",
+    "luby_mis",
+    "greedy_mis",
+    "random_order_greedy_mis",
+    "SequentialSelfStabilizingMIS",
+    "AdversarialDaemon",
+    "CentralDaemon",
+    "RandomDaemon",
+]

@@ -1,0 +1,46 @@
+"""Greedy (sequential) MIS baselines.
+
+The lexicographic greedy MIS is the centralized reference solution used
+by tests (every graph has one, computed in O(n + m)); the random-order
+variant is the classic sequential counterpart of Luby's algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+def greedy_mis(graph: Graph, order: list[int] | None = None) -> np.ndarray:
+    """Greedy MIS scanning vertices in the given order (default: 0..n-1).
+
+    Returns a sorted vertex array.  The result is always a valid MIS.
+    """
+    n = graph.n
+    if order is None:
+        order = list(range(n))
+    if sorted(order) != list(range(n)):
+        raise ValueError("order must be a permutation of range(n)")
+    blocked = np.zeros(n, dtype=bool)
+    chosen = np.zeros(n, dtype=bool)
+    for u in order:
+        if not blocked[u]:
+            chosen[u] = True
+            blocked[u] = True
+            for v in graph.neighbors(u):
+                blocked[v] = True
+    return np.flatnonzero(chosen)
+
+
+def random_order_greedy_mis(
+    graph: Graph, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Greedy MIS over a uniformly random vertex order."""
+    gen = (
+        rng
+        if isinstance(rng, np.random.Generator)
+        else np.random.default_rng(rng)
+    )
+    order = gen.permutation(graph.n).tolist()
+    return greedy_mis(graph, order)

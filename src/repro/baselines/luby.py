@@ -1,0 +1,143 @@
+"""Luby's randomized MIS algorithm (Appendix B, [24]).
+
+The classical parallel MIS algorithm: in each phase every live vertex
+draws a random priority; local minima join the MIS and are removed with
+their neighbourhoods.  Terminates in O(log n) phases w.h.p.
+
+It is the natural *non-self-stabilizing* baseline: it needs a clean
+start (all vertices live), per-phase fresh Θ(log n)-bit priorities, and
+message exchange of those priorities — everything the paper's processes
+avoid.  Experiment E10 compares its round count to the processes'
+stabilization times.
+
+Two interfaces are provided: the one-shot :func:`luby_mis` and the
+round-stepped :class:`LubyMIS` (for apples-to-apples round counting with
+the MIS processes; one Luby phase is counted as two communication rounds
+— one to exchange priorities, one to announce joins — matching the usual
+message-passing accounting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+def luby_mis(
+    graph: Graph, rng: np.random.Generator | int | None = None
+) -> tuple[np.ndarray, int]:
+    """Run Luby's algorithm to completion.
+
+    Returns
+    -------
+    (mis, phases):
+        ``mis`` is a sorted vertex array forming an MIS; ``phases`` is
+        the number of phases executed.
+    """
+    gen = (
+        rng
+        if isinstance(rng, np.random.Generator)
+        else np.random.default_rng(rng)
+    )
+    n = graph.n
+    live = np.ones(n, dtype=bool)
+    in_mis = np.zeros(n, dtype=bool)
+    phases = 0
+    while live.any():
+        phases += 1
+        priority = gen.random(n)
+        priority[~live] = np.inf
+        # A live vertex joins if its priority beats all live neighbours'.
+        joins = np.zeros(n, dtype=bool)
+        for u in np.flatnonzero(live):
+            best = True
+            for v in graph.neighbors(int(u)):
+                if live[v] and priority[v] <= priority[u] and v != u:
+                    # Tie-break by index for robustness (ties have
+                    # probability 0 with float priorities).
+                    if priority[v] < priority[u] or v < u:
+                        best = False
+                        break
+            joins[u] = best
+        in_mis |= joins
+        # Remove joined vertices and their neighbourhoods.
+        removed = joins.copy()
+        for u in np.flatnonzero(joins):
+            for v in graph.neighbors(int(u)):
+                removed[v] = True
+        live &= ~removed
+    return np.flatnonzero(in_mis), phases
+
+
+class LubyMIS:
+    """Round-stepped Luby, mimicking the :class:`MISProcess` interface.
+
+    Each phase costs two rounds (priority exchange + join announcement).
+    ``is_stabilized`` is termination; ``black_mask`` is the MIS-so-far.
+    """
+
+    name = "luby"
+
+    def __init__(
+        self,
+        graph: Graph,
+        coins: np.random.Generator | int | None = None,
+    ) -> None:
+        self.graph = graph
+        self.n = graph.n
+        self._gen = (
+            coins
+            if isinstance(coins, np.random.Generator)
+            else np.random.default_rng(coins)
+        )
+        self.live = np.ones(self.n, dtype=bool)
+        self.in_mis = np.zeros(self.n, dtype=bool)
+        self.round = 0
+        self._phase_parity = 0
+        self._pending_priority: np.ndarray | None = None
+
+    def step(self, rounds: int = 1) -> None:
+        """Advance by communication rounds (2 per Luby phase)."""
+        for _ in range(rounds):
+            if not self.live.any():
+                self.round += 1
+                continue
+            if self._phase_parity == 0:
+                self._pending_priority = self._gen.random(self.n)
+                self._phase_parity = 1
+            else:
+                self._execute_phase(self._pending_priority)
+                self._pending_priority = None
+                self._phase_parity = 0
+            self.round += 1
+
+    def _execute_phase(self, priority: np.ndarray) -> None:
+        joins = np.zeros(self.n, dtype=bool)
+        for u in np.flatnonzero(self.live):
+            best = True
+            for v in self.graph.neighbors(int(u)):
+                if self.live[v] and (
+                    priority[v] < priority[u]
+                    or (priority[v] == priority[u] and v < u)
+                ):
+                    best = False
+                    break
+            joins[u] = best
+        self.in_mis |= joins
+        removed = joins.copy()
+        for u in np.flatnonzero(joins):
+            for v in self.graph.neighbors(int(u)):
+                removed[v] = True
+        self.live &= ~removed
+
+    def black_mask(self) -> np.ndarray:
+        return self.in_mis.copy()
+
+    def is_stabilized(self) -> bool:
+        return not self.live.any()
+
+    def mis(self) -> np.ndarray:
+        if not self.is_stabilized():
+            raise RuntimeError("Luby has not terminated")
+        return np.flatnonzero(self.in_mis)

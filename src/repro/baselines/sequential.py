@@ -1,0 +1,171 @@
+"""The sequential self-stabilizing MIS algorithm ([28], [20]; §1).
+
+Rule (one enabled vertex moves per step): a black vertex with a black
+neighbour turns white; a white vertex with no black neighbour turns
+black.  Under any *central daemon* (one vertex scheduled at a time,
+adversarially), the algorithm stabilizes after each vertex moves at most
+twice — the classical result the paper's 2-state process parallelizes.
+
+Daemons provided:
+
+* :class:`CentralDaemon` — fixed priority order (lowest enabled index).
+* :class:`RandomDaemon` — uniformly random enabled vertex.
+* :class:`AdversarialDaemon` — a worst-case-ish heuristic daemon that
+  always schedules an enabled vertex with the *most* enabled neighbours
+  (tries to prolong runs; useful to exhibit the 2-moves-per-vertex
+  bound as an actual ceiling).
+
+The paper also observes ([28], [31]) that randomizing the transitions
+yields stabilization with probability 1 under a synchronous/distributed
+daemon — that randomized synchronous variant *is* the 2-state MIS
+process of Definition 4, implemented in :mod:`repro.core.two_state`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+class _Daemon:
+    """Chooses which enabled vertex moves next."""
+
+    def choose(
+        self, enabled: np.ndarray, algo: "SequentialSelfStabilizingMIS"
+    ) -> int:
+        raise NotImplementedError
+
+
+class CentralDaemon(_Daemon):
+    """Schedules the lowest-index enabled vertex."""
+
+    def choose(self, enabled, algo):
+        return int(np.flatnonzero(enabled)[0])
+
+
+class RandomDaemon(_Daemon):
+    """Schedules a uniformly random enabled vertex."""
+
+    def __init__(self, rng: np.random.Generator | int | None = None) -> None:
+        self._gen = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+
+    def choose(self, enabled, algo):
+        idx = np.flatnonzero(enabled)
+        return int(self._gen.choice(idx))
+
+
+class AdversarialDaemon(_Daemon):
+    """Heuristic worst case: the enabled vertex with most enabled neighbours.
+
+    Ties broken by highest index.  This daemon maximizes churn and is
+    used by tests to confirm the 2n move bound holds even then.
+    """
+
+    def choose(self, enabled, algo):
+        best_u = -1
+        best_score = -1
+        for u in np.flatnonzero(enabled):
+            score = sum(
+                1 for v in algo.graph.neighbors(int(u)) if enabled[v]
+            )
+            if score > best_score or (
+                score == best_score and int(u) > best_u
+            ):
+                best_score = score
+                best_u = int(u)
+        return best_u
+
+
+class SequentialSelfStabilizingMIS:
+    """The deterministic sequential algorithm under a pluggable daemon.
+
+    Parameters
+    ----------
+    graph:
+        The graph.
+    init:
+        Initial black mask (boolean array), or ``None`` for all-white.
+    daemon:
+        Scheduling daemon; default :class:`CentralDaemon`.
+
+    Attributes
+    ----------
+    moves:
+        Total moves executed so far.
+    move_counts:
+        Per-vertex move counters (the classical bound is <= 2 each
+        under a central daemon).
+    """
+
+    name = "sequential"
+
+    def __init__(
+        self,
+        graph: Graph,
+        init: np.ndarray | None = None,
+        daemon: _Daemon | None = None,
+    ) -> None:
+        self.graph = graph
+        self.n = graph.n
+        if init is None:
+            self.black = np.zeros(self.n, dtype=bool)
+        else:
+            init = np.asarray(init, dtype=bool)
+            if init.shape != (self.n,):
+                raise ValueError("init mask has wrong shape")
+            self.black = init.copy()
+        self.daemon = daemon if daemon is not None else CentralDaemon()
+        self.moves = 0
+        self.move_counts = np.zeros(self.n, dtype=np.int64)
+
+    def enabled_mask(self) -> np.ndarray:
+        """Vertices whose rule is enabled (black conflicted / white lonely)."""
+        out = np.zeros(self.n, dtype=bool)
+        for u in range(self.n):
+            has_black = any(self.black[v] for v in self.graph.neighbors(u))
+            out[u] = (self.black[u] and has_black) or (
+                not self.black[u] and not has_black
+            )
+        return out
+
+    def step(self) -> bool:
+        """Execute one daemon-chosen move; returns False if none enabled."""
+        enabled = self.enabled_mask()
+        if not enabled.any():
+            return False
+        u = self.daemon.choose(enabled, self)
+        if not enabled[u]:
+            raise RuntimeError("daemon chose a disabled vertex")
+        self.black[u] = not self.black[u]
+        self.moves += 1
+        self.move_counts[u] += 1
+        return True
+
+    def run(self, max_moves: int | None = None) -> int:
+        """Run until quiescent; returns the number of moves executed.
+
+        ``max_moves`` defaults to ``2n + 1`` (the theory says 2n moves
+        always suffice under a central daemon; exceeding the default
+        raises, which the test suite uses as a theorem check).
+        """
+        budget = max_moves if max_moves is not None else 2 * self.n + 1
+        start = self.moves
+        while self.step():
+            if self.moves - start > budget:
+                raise RuntimeError(
+                    f"exceeded move budget {budget}; daemon={type(self.daemon).__name__}"
+                )
+        return self.moves - start
+
+    def mis(self) -> np.ndarray:
+        """The black set (valid MIS once quiescent)."""
+        return np.flatnonzero(self.black)
+
+    def is_stabilized(self) -> bool:
+        """Whether no rule is enabled."""
+        return not self.enabled_mask().any()

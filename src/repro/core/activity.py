@@ -1,0 +1,129 @@
+"""Analytic notation of §2 and §4.1 as standalone functions.
+
+These operate on explicit state vectors (not process objects) so the
+experiments can analyze recorded trajectories:
+
+* ``B_t``/``W_t`` — black/white sets (here: boolean masks),
+* ``A_t`` — active vertices (:func:`active_set`),
+* ``A^k_t`` — k-active vertices (:func:`k_active_set`),
+* ``I_t`` — stable black vertices (:func:`stable_black_set`),
+* ``V_t = V \\ N+(I_t)`` — non-stable vertices (:func:`unstable_set`),
+* ``θ_u(i)`` — equation (3) (:func:`theta_u`, exact for small i).
+
+All functions accept a graph plus a boolean "black" mask, so they work
+uniformly for the 2-state process and for the black sets of the 3-state
+and 3-color processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+def _black_neighbor_counts(graph: Graph, black: np.ndarray) -> np.ndarray:
+    black = np.asarray(black, dtype=bool)
+    if black.shape != (graph.n,):
+        raise ValueError(
+            f"black mask must have shape ({graph.n},), got {black.shape}"
+        )
+    counts = np.zeros(graph.n, dtype=np.int64)
+    for u in graph.vertices():
+        counts[u] = sum(1 for v in graph.neighbors(u) if black[v])
+    return counts
+
+
+def active_set(graph: Graph, black: np.ndarray) -> np.ndarray:
+    """``A_t``: black with a black neighbour, or white with none.
+
+    Returns a boolean mask.  Note: for 3-color trajectories use the
+    process's own ``active_mask`` — gray vertices are non-black but are
+    *not* active, whereas this mask treats every non-black vertex as
+    white.
+    """
+    black = np.asarray(black, dtype=bool)
+    counts = _black_neighbor_counts(graph, black)
+    return np.where(black, counts > 0, counts == 0)
+
+
+def k_active_set(graph: Graph, black: np.ndarray, k: int) -> np.ndarray:
+    """``A^k_t``: active vertices with at most ``k`` active neighbours."""
+    active = active_set(graph, black)
+    active_nbr_counts = np.zeros(graph.n, dtype=np.int64)
+    for u in graph.vertices():
+        active_nbr_counts[u] = sum(
+            1 for v in graph.neighbors(u) if active[v]
+        )
+    return active & (active_nbr_counts <= k)
+
+
+def stable_black_set(graph: Graph, black: np.ndarray) -> np.ndarray:
+    """``I_t``: black vertices with no black neighbour (independent)."""
+    black = np.asarray(black, dtype=bool)
+    counts = _black_neighbor_counts(graph, black)
+    return black & (counts == 0)
+
+
+def unstable_set(graph: Graph, black: np.ndarray) -> np.ndarray:
+    """``V_t = V \\ N+(I_t)``: vertices not dominated by stable blacks."""
+    stable = stable_black_set(graph, black)
+    covered = stable.copy()
+    for u in graph.vertices():
+        if not covered[u] and any(stable[v] for v in graph.neighbors(u)):
+            covered[u] = True
+    return ~covered
+
+
+def theta_u(graph: Graph, u: int, i: int, exact_limit: int = 20) -> int:
+    """``θ_u(i)`` from equation (3): max over S ⊆ N(u), |S| <= i of
+    ``|N(u) ∩ N+(S)|``.
+
+    Exact by enumeration when ``C(deg(u), min(i, deg(u)))`` is at most
+    about ``2^exact_limit``; otherwise falls back to the greedy
+    max-coverage value, which lower-bounds the true θ (and equals it up
+    to the (1 - 1/e) guarantee).  The experiments only use θ on
+    low-degree vertices, where the exact branch applies.
+    """
+    nbrs = list(graph.neighbors(u))
+    d = len(nbrs)
+    if i <= 0 or d == 0:
+        return 0
+    i = min(i, d)
+    nbr_set = set(nbrs)
+
+    def coverage(subset: tuple[int, ...]) -> int:
+        covered: set[int] = set()
+        for v in subset:
+            covered.add(v)
+            covered.update(graph.neighbors(v))
+        return len(covered & nbr_set)
+
+    # Count subsets to decide exact vs greedy.
+    import math
+
+    total = sum(math.comb(d, j) for j in range(1, i + 1))
+    if total <= (1 << exact_limit):
+        best = 0
+        for j in range(1, i + 1):
+            for subset in itertools.combinations(nbrs, j):
+                best = max(best, coverage(subset))
+            if best == d:
+                return best
+        return best
+    # Greedy fallback (lower bound).
+    uncovered = set(nbr_set)
+    chosen: list[int] = []
+    while len(chosen) < i and uncovered:
+        best_v, best_gain = None, 0
+        for v in nbrs:
+            gain = len(uncovered & (set(graph.neighbors(v)) | {v}))
+            if gain > best_gain:
+                best_v, best_gain = v, gain
+        if best_v is None:
+            break
+        uncovered -= set(graph.neighbors(best_v)) | {best_v}
+        chosen.append(best_v)
+    return d - len(uncovered)

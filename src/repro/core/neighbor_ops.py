@@ -1,0 +1,134 @@
+"""Neighbourhood aggregation backends for the vectorized engines.
+
+Every update rule in the paper depends on a vertex's neighbourhood only
+through three aggregates:
+
+* ``count(mask)``   — ``|N(u) ∩ mask|`` (how many neighbours are black, ...)
+* ``exists(mask)``  — whether some neighbour is in ``mask``
+* ``max_closed(v)`` — ``max_{w ∈ N+(u)} v[w]`` (used by the switch rule)
+
+Three backends implement the interface:
+
+* :class:`DenseNeighborOps`   — int8 adjacency matrix + matmul; fastest
+  for small or dense graphs.
+* :class:`SparseNeighborOps`  — scipy CSR matvec; fastest for large
+  sparse graphs.
+* :class:`AdjListNeighborOps` — pure-python loops; the readable reference
+  used for cross-checking.
+
+:func:`make_neighbor_ops` picks a backend from the graph's size/density;
+the ablation benchmark ``bench_ablation_backends.py`` quantifies the
+choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+#: Densest n for which the dense backend is considered by "auto".
+_DENSE_MAX_N = 4096
+#: Minimum density for which dense wins over sparse at large n.
+_DENSE_MIN_DENSITY = 0.02
+
+
+class NeighborOps:
+    """Abstract neighbourhood-aggregation interface (see module docs)."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.n = graph.n
+
+    def count(self, mask: np.ndarray) -> np.ndarray:
+        """``out[u] = |N(u) ∩ {v : mask[v]}|`` as an int array."""
+        raise NotImplementedError
+
+    def exists(self, mask: np.ndarray) -> np.ndarray:
+        """``out[u] = (N(u) ∩ mask != ∅)`` as a boolean array."""
+        return self.count(mask) > 0
+
+    def max_closed(self, values: np.ndarray) -> np.ndarray:
+        """``out[u] = max over N+(u) of values[w]``.
+
+        Generic implementation via level-set probes: assumes values take
+        a small number of distinct non-negative integer levels (true for
+        switch levels 0..5).  Backends may override with something
+        faster.
+        """
+        values = np.asarray(values)
+        out = values.astype(np.int64).copy()  # self is included in N+.
+        for level in np.unique(values):
+            has = self.exists(values >= level)
+            out[has & (out < level)] = level
+        return out
+
+
+class DenseNeighborOps(NeighborOps):
+    """Dense adjacency-matrix backend (int8 matrix, int32 matvec)."""
+
+    def __init__(self, graph: Graph) -> None:
+        super().__init__(graph)
+        self._a = graph.adjacency_dense()
+
+    def count(self, mask: np.ndarray) -> np.ndarray:
+        return self._a @ np.asarray(mask, dtype=np.int32)
+
+
+class SparseNeighborOps(NeighborOps):
+    """scipy CSR backend for large sparse graphs."""
+
+    def __init__(self, graph: Graph) -> None:
+        super().__init__(graph)
+        self._a = graph.adjacency_csr().astype(np.int32)
+
+    def count(self, mask: np.ndarray) -> np.ndarray:
+        return self._a.dot(np.asarray(mask, dtype=np.int32))
+
+
+class AdjListNeighborOps(NeighborOps):
+    """Pure-python adjacency-list backend (reference semantics)."""
+
+    def count(self, mask: np.ndarray) -> np.ndarray:
+        mask = np.asarray(mask, dtype=bool)
+        out = np.zeros(self.n, dtype=np.int64)
+        for u in range(self.n):
+            out[u] = sum(1 for v in self.graph.neighbors(u) if mask[v])
+        return out
+
+    def max_closed(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        out = np.empty(self.n, dtype=np.int64)
+        for u in range(self.n):
+            best = int(values[u])
+            for v in self.graph.neighbors(u):
+                if values[v] > best:
+                    best = int(values[v])
+            out[u] = best
+        return out
+
+
+def make_neighbor_ops(graph: Graph, backend: str = "auto") -> NeighborOps:
+    """Construct a neighbourhood-ops backend.
+
+    Parameters
+    ----------
+    graph:
+        The graph to aggregate over.
+    backend:
+        ``"dense"``, ``"sparse"``, ``"adjlist"``, or ``"auto"`` (choose
+        dense for small/dense graphs, sparse otherwise).
+    """
+    if backend == "dense":
+        return DenseNeighborOps(graph)
+    if backend == "sparse":
+        return SparseNeighborOps(graph)
+    if backend == "adjlist":
+        return AdjListNeighborOps(graph)
+    if backend != "auto":
+        raise ValueError(f"unknown backend {backend!r}")
+    if graph.n <= 512:
+        return DenseNeighborOps(graph)
+    if graph.n <= _DENSE_MAX_N and graph.density() >= _DENSE_MIN_DENSITY:
+        return DenseNeighborOps(graph)
+    return SparseNeighborOps(graph)

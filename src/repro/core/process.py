@@ -1,0 +1,149 @@
+"""Common API for the paper's round-based self-stabilizing processes.
+
+All processes share the synchronous structure of §2: an arbitrary initial
+state vector, parallel rounds ``t = 1, 2, ...``, per-round per-vertex
+coins (see :mod:`repro.sim.rng`), and the stable/stabilized notions of
+Definition 4 (which carry over verbatim to the 3-state and 3-color
+processes):
+
+* a vertex is *stable* if it is black with no black neighbours, or it is
+  not black and has a stable black neighbour;
+* the process is *stabilized* once all vertices are stable, equivalently
+  once ``N+[I_t] = V`` where ``I_t`` is the set of black vertices with no
+  black neighbour.
+
+Subclasses implement :meth:`_advance` (one synchronous round) and
+:meth:`black_mask`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.neighbor_ops import NeighborOps, make_neighbor_ops
+from repro.graphs.graph import Graph
+from repro.sim.rng import CoinSource, as_coin_source
+
+
+class MISProcess:
+    """Base class for the 2-state, 3-state and 3-color MIS processes.
+
+    Parameters
+    ----------
+    graph:
+        The graph ``G = (V, E)``.
+    coins:
+        A :class:`~repro.sim.rng.CoinSource`, an integer seed, a numpy
+        ``Generator``, or ``None`` (fresh OS entropy).
+    backend:
+        Neighbourhood-aggregation backend (``"auto"``, ``"dense"``,
+        ``"sparse"``, ``"adjlist"``).
+    """
+
+    #: Human-readable name of the process (subclasses override).
+    name: str = "abstract"
+    #: Number of per-vertex states the process uses (paper's accounting).
+    state_count: int = 0
+
+    def __init__(
+        self,
+        graph: Graph,
+        coins: CoinSource | int | np.random.Generator | None = None,
+        backend: str = "auto",
+    ) -> None:
+        self.graph = graph
+        self.n = graph.n
+        self.coins = as_coin_source(coins)
+        self.ops: NeighborOps = make_neighbor_ops(graph, backend)
+        self.round: int = 0
+
+    # ------------------------------------------------------------------
+    # Subclass contract
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Execute one synchronous round (update all states in parallel)."""
+        raise NotImplementedError
+
+    def black_mask(self) -> np.ndarray:
+        """Boolean array: which vertices are currently black (``B_t``).
+
+        For the 3-state process "black" means state ∈ {black0, black1};
+        for the 3-color process it means state == black.
+        """
+        raise NotImplementedError
+
+    def active_mask(self) -> np.ndarray:
+        """Boolean array of active vertices ``A_t`` (subclass-specific)."""
+        raise NotImplementedError
+
+    def state_vector(self) -> np.ndarray:
+        """A copy of the current full state vector (encoding varies)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared semantics
+    # ------------------------------------------------------------------
+    def step(self, rounds: int = 1) -> None:
+        """Advance the process by ``rounds`` synchronous rounds."""
+        if rounds < 0:
+            raise ValueError("rounds must be >= 0")
+        for _ in range(rounds):
+            self._advance()
+            self.round += 1
+
+    def stable_black_mask(self) -> np.ndarray:
+        """``I_t``: black vertices with no black neighbour.
+
+        ``I_t`` is an independent set and a subset of the final MIS; once
+        a vertex enters ``I_t`` it stays (Definition 4 and §2).
+        """
+        black = self.black_mask()
+        return black & ~self.ops.exists(black)
+
+    def covered_mask(self) -> np.ndarray:
+        """``N+[I_t]``: vertices that are stable (self or neighbour in I_t)."""
+        stable_black = self.stable_black_mask()
+        return stable_black | self.ops.exists(stable_black)
+
+    def unstable_mask(self) -> np.ndarray:
+        """``V_t = V \\ N+[I_t]``: vertices that are not yet stable."""
+        return ~self.covered_mask()
+
+    def is_stabilized(self) -> bool:
+        """Whether all vertices are stable (``N+[I_t] = V``)."""
+        return bool(self.covered_mask().all())
+
+    def mis(self) -> np.ndarray:
+        """The stabilized MIS as a sorted vertex array.
+
+        Raises
+        ------
+        RuntimeError
+            If the process has not stabilized yet.
+        """
+        if not self.is_stabilized():
+            raise RuntimeError("process has not stabilized; no MIS yet")
+        return np.flatnonzero(self.black_mask())
+
+    def run(self, max_rounds: int = 1_000_000):
+        """Convenience wrapper around :func:`repro.sim.runner.run_until_stable`."""
+        from repro.sim.runner import run_until_stable
+
+        return run_until_stable(self, max_rounds=max_rounds)
+
+    # ------------------------------------------------------------------
+    # Fault injection hooks (self-stabilization experiments)
+    # ------------------------------------------------------------------
+    def corrupt(self, states: np.ndarray) -> None:
+        """Overwrite the full state vector (transient-fault injection).
+
+        Subclasses validate the encoding.  The round counter is *not*
+        reset: self-stabilization means recovery without a restart.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.n}, round={self.round}, "
+            f"stabilized={self.is_stabilized()})"
+        )

@@ -1,0 +1,158 @@
+"""Partial-synchrony schedulers for the 2-state MIS process.
+
+§1 recalls (from Shukla et al. [28] and Turau-Weyer [31]) that the
+*randomized* transitions make the simple MIS rule stabilize with
+probability 1 under a general adversarial scheduler — the synchronous
+schedule of Definition 4 being one instance.  This module makes the
+scheduler explicit: in each round an *activation set* of vertices is
+selected, and only those vertices apply the update rule.
+
+Schedulers provided:
+
+* :class:`SynchronousScheduler` — everyone, every round (Definition 4);
+* :class:`IndependentScheduler` — each vertex independently with
+  probability q per round (the classic partially synchronous daemon);
+* :class:`SingleVertexScheduler` — one uniformly random vertex per
+  round (the randomized central daemon);
+* :class:`AdversarialGreedyScheduler` — a deterministic adversary that
+  activates exactly the currently *inactive-rule* vertices' complement…
+  more precisely, it activates the minimal nonempty set it may legally
+  pick under weak fairness: the single enabled vertex with the most
+  enabled neighbours (churn-maximizing, mirroring
+  :class:`repro.baselines.sequential.AdversarialDaemon`).
+
+Fairness: a scheduler must activate every continuously-enabled vertex
+eventually; all of the above satisfy this (the adversary activates an
+enabled vertex every round and enabled sets shrink under it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.process import MISProcess
+from repro.core.two_state import resolve_two_state_init
+from repro.core.states import validate_two_state
+from repro.graphs.graph import Graph
+from repro.sim.rng import CoinSource
+
+
+class Scheduler:
+    """Selects the activation set each round."""
+
+    def select(self, process: "ScheduledTwoStateMIS") -> np.ndarray:
+        """Boolean mask of vertices allowed to update this round."""
+        raise NotImplementedError
+
+
+class SynchronousScheduler(Scheduler):
+    """Definition 4's schedule: all vertices, every round."""
+
+    def select(self, process):
+        return np.ones(process.n, dtype=bool)
+
+
+class IndependentScheduler(Scheduler):
+    """Each vertex activates independently with probability ``q``."""
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        self.q = q
+
+    def select(self, process):
+        return process.coins.bernoulli(process.n, self.q)
+
+
+class SingleVertexScheduler(Scheduler):
+    """One uniformly random vertex per round (randomized central daemon).
+
+    Selection is derived from the process's coin source to keep runs
+    reproducible: it draws ⌈log₂ n⌉ coin arrays and assembles a random
+    index (slight modulo bias is irrelevant for a daemon).
+    """
+
+    def select(self, process):
+        n = process.n
+        bits_needed = max(1, int(np.ceil(np.log2(max(n, 2)))))
+        raw = np.zeros(1, dtype=np.int64)
+        for b in range(bits_needed):
+            raw += int(process.coins.bits(1)[0]) << b
+        index = int(raw[0]) % n
+        mask = np.zeros(n, dtype=bool)
+        mask[index] = True
+        return mask
+
+
+class AdversarialGreedyScheduler(Scheduler):
+    """Churn-maximizing single-vertex adversary (weakly fair)."""
+
+    def select(self, process):
+        enabled = process.active_mask()
+        mask = np.zeros(process.n, dtype=bool)
+        if not enabled.any():
+            return mask
+        best_u = -1
+        best_score = -1
+        for u in np.flatnonzero(enabled):
+            score = sum(
+                1 for v in process.graph.neighbors(int(u)) if enabled[v]
+            )
+            if score > best_score or (
+                score == best_score and int(u) > best_u
+            ):
+                best_score = score
+                best_u = int(u)
+        mask[best_u] = True
+        return mask
+
+
+class ScheduledTwoStateMIS(MISProcess):
+    """The 2-state MIS rule under a pluggable activation scheduler.
+
+    With :class:`SynchronousScheduler` this is exactly
+    :class:`~repro.core.two_state.TwoStateMIS` (tested).  Coin order per
+    round: the scheduler's draws (if any) first, then the φ_t array.
+    """
+
+    name = "2-state (scheduled)"
+    state_count = 2
+
+    def __init__(
+        self,
+        graph: Graph,
+        scheduler: Scheduler | None = None,
+        coins: CoinSource | int | np.random.Generator | None = None,
+        init: np.ndarray | str | None = None,
+        backend: str = "auto",
+    ) -> None:
+        super().__init__(graph, coins, backend)
+        self.scheduler = (
+            scheduler if scheduler is not None else SynchronousScheduler()
+        )
+        self.black = resolve_two_state_init(init, self.n, self.coins)
+
+    def _advance(self) -> None:
+        selected = self.scheduler.select(self)
+        black = self.black
+        has_black_nbr = self.ops.exists(black)
+        rule_enabled = np.where(black, has_black_nbr, ~has_black_nbr)
+        active = rule_enabled & selected
+        phi = self.coins.bits(self.n)
+        new_black = black.copy()
+        new_black[active] = phi[active]
+        self.black = new_black
+
+    def black_mask(self) -> np.ndarray:
+        return self.black.copy()
+
+    def active_mask(self) -> np.ndarray:
+        """Rule-enabled vertices (scheduler-independent activity)."""
+        has_black_nbr = self.ops.exists(self.black)
+        return np.where(self.black, has_black_nbr, ~has_black_nbr)
+
+    def state_vector(self) -> np.ndarray:
+        return self.black.copy()
+
+    def corrupt(self, states: np.ndarray) -> None:
+        self.black = validate_two_state(states, self.n)

@@ -1,0 +1,136 @@
+"""The 3-state MIS process (Definition 5).
+
+States: ``black1``, ``black0``, ``white``.  A vertex is *black* when its
+state is black1 or black0.  The update rule, verbatim::
+
+    let NC_t(u) = {c_{t-1}(v) : v ∈ N(u)}
+    if c_{t-1}(u) = black1
+       or (c_{t-1}(u) = black0 and black1 ∉ NC_t(u))
+       or (c_{t-1}(u) = white and NC_t(u) = {white}):
+        c_t(u) = uniformly random in {black1, black0}
+    elif c_{t-1}(u) = black0:
+        c_t(u) = white
+    else:
+        c_t(u) = c_{t-1}(u)
+
+This variant needs no collision detection (suitable for the synchronous
+stone age model): black1 plays the role of a beep, and a black0 vertex
+that hears a black1 beep retreats to white.  A stable black vertex
+alternates between black1 and black0 forever, so quiescence of the state
+vector is *not* the stabilization criterion — coverage by stable black
+vertices is (see :class:`repro.core.process.MISProcess`).
+
+The paper does not analyze this process but conjectures it behaves at
+least as well as the 2-state process; Remark 10 notes O(log n) on K_n.
+Experiment E10 compares all three processes empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.process import MISProcess
+from repro.core.states import BLACK0, BLACK1, WHITE, validate_three_state
+from repro.graphs.graph import Graph
+from repro.sim.rng import CoinSource
+
+
+def resolve_three_state_init(
+    init: np.ndarray | str | None,
+    n: int,
+    coins,
+) -> np.ndarray:
+    """Resolve an initial 3-state configuration.
+
+    ``"random"`` draws two coin arrays: the first chooses black vs white,
+    the second chooses black1 vs black0 for the black vertices.
+    """
+    if init is None or (isinstance(init, str) and init == "random"):
+        is_black = coins.bits(n)
+        is_one = coins.bits(n)
+        out = np.full(n, WHITE, dtype=np.int8)
+        out[is_black & is_one] = BLACK1
+        out[is_black & ~is_one] = BLACK0
+        return out
+    if isinstance(init, str):
+        if init == "all_white":
+            return np.full(n, WHITE, dtype=np.int8)
+        if init == "all_black1":
+            return np.full(n, BLACK1, dtype=np.int8)
+        if init == "all_black0":
+            return np.full(n, BLACK0, dtype=np.int8)
+        raise ValueError(f"unknown init spec {init!r}")
+    return validate_three_state(init, n)
+
+
+class ThreeStateMIS(MISProcess):
+    """Vectorized implementation of the 3-state MIS process.
+
+    Per round, exactly one ``bits(n)`` draw is consumed: the coin that
+    chooses black1 (True) vs black0 (False) for re-randomizing vertices.
+    """
+
+    name = "3-state"
+    state_count = 3
+
+    def __init__(
+        self,
+        graph: Graph,
+        coins: CoinSource | int | np.random.Generator | None = None,
+        init: np.ndarray | str | None = None,
+        backend: str = "auto",
+    ) -> None:
+        super().__init__(graph, coins, backend)
+        self.states = resolve_three_state_init(init, self.n, self.coins)
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        states = self.states
+        is_black1 = states == BLACK1
+        is_black0 = states == BLACK0
+        is_white = states == WHITE
+        has_black1_nbr = self.ops.exists(is_black1)
+        has_black_nbr = self.ops.exists(is_black1 | is_black0)
+
+        randomize = (
+            is_black1
+            | (is_black0 & ~has_black1_nbr)
+            | (is_white & ~has_black_nbr)
+        )
+        demote = is_black0 & ~randomize  # black0 hearing a black1 beep
+
+        phi = self.coins.bits(self.n)
+        new_states = states.copy()
+        new_states[randomize & phi] = BLACK1
+        new_states[randomize & ~phi] = BLACK0
+        new_states[demote] = WHITE
+        self.states = new_states
+
+    # ------------------------------------------------------------------
+    def black_mask(self) -> np.ndarray:
+        return self.states != WHITE
+
+    def active_mask(self) -> np.ndarray:
+        """Vertices that will re-randomize this coming round.
+
+        For the 3-state process, the natural analogue of ``A_t`` is the
+        set of vertices whose next state is random: black1 vertices,
+        black0 vertices with no black1 neighbour, and white vertices with
+        all-white neighbourhoods.
+        """
+        is_black1 = self.states == BLACK1
+        is_black0 = self.states == BLACK0
+        is_white = self.states == WHITE
+        has_black1_nbr = self.ops.exists(is_black1)
+        has_black_nbr = self.ops.exists(is_black1 | is_black0)
+        return (
+            is_black1
+            | (is_black0 & ~has_black1_nbr)
+            | (is_white & ~has_black_nbr)
+        )
+
+    def state_vector(self) -> np.ndarray:
+        return self.states.copy()
+
+    def corrupt(self, states: np.ndarray) -> None:
+        self.states = validate_three_state(states, self.n)

@@ -1,0 +1,141 @@
+"""The 2-state MIS process (Definition 4).
+
+Each vertex has a binary state, black or white.  In each round, every
+vertex whose state is inconsistent with its neighbours' — black with a
+black neighbour, or white with no black neighbour — adopts a uniformly
+random state.  The set of black vertices is an MIS exactly when no vertex
+is active, and the process then never changes again.
+
+The update rule, verbatim from the paper::
+
+    let NC_t(u) = {c_{t-1}(v) : v ∈ N(u)}
+    if (c_{t-1}(u) = black and black ∈ NC_t(u))
+       or (c_{t-1}(u) = white and black ∉ NC_t(u)):
+        c_t(u) = uniformly random in {black, white}
+    else:
+        c_t(u) = c_{t-1}(u)
+
+Coin discipline: one fair coin φ_t(u) is drawn for every vertex every
+round (§2.1); active vertices set their state to the coin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.process import MISProcess
+from repro.core.states import validate_two_state
+from repro.graphs.graph import Graph
+from repro.sim.rng import CoinSource
+
+
+def resolve_two_state_init(
+    init: np.ndarray | str | None,
+    n: int,
+    coins,
+) -> np.ndarray:
+    """Resolve an initial 2-state configuration.
+
+    ``init`` may be a boolean array (copied), one of the strings
+    ``"random"`` / ``"all_black"`` / ``"all_white"``, or ``None``
+    (= ``"random"``).  Random initial states consume one ``bits(n)`` draw
+    from the coin source (before any round coins).
+    """
+    if init is None or (isinstance(init, str) and init == "random"):
+        return coins.bits(n).copy()
+    if isinstance(init, str):
+        if init == "all_black":
+            return np.ones(n, dtype=bool)
+        if init == "all_white":
+            return np.zeros(n, dtype=bool)
+        raise ValueError(f"unknown init spec {init!r}")
+    return validate_two_state(init, n)
+
+
+class TwoStateMIS(MISProcess):
+    """Vectorized implementation of the 2-state MIS process.
+
+    Parameters
+    ----------
+    graph, coins, backend:
+        See :class:`~repro.core.process.MISProcess`.
+    init:
+        Initial configuration: boolean array, ``"random"``,
+        ``"all_black"``, ``"all_white"``, or ``None`` (random).
+    eager_white_promotion:
+        Ablation flag (footnote 1 of the paper): if ``True``, a white
+        vertex with no black neighbour turns black with probability 1
+        instead of 1/2.  Black-with-black-neighbour transitions keep the
+        fair coin.  Default ``False`` (the paper's process).
+
+    Notes
+    -----
+    Per round, exactly one ``bits(n)`` draw is consumed from the coin
+    source — the φ_t array of §2.1.
+    """
+
+    name = "2-state"
+    state_count = 2
+
+    def __init__(
+        self,
+        graph: Graph,
+        coins: CoinSource | int | np.random.Generator | None = None,
+        init: np.ndarray | str | None = None,
+        backend: str = "auto",
+        eager_white_promotion: bool = False,
+    ) -> None:
+        super().__init__(graph, coins, backend)
+        self.black = resolve_two_state_init(init, self.n, self.coins)
+        self.eager_white_promotion = bool(eager_white_promotion)
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        black = self.black
+        has_black_nbr = self.ops.exists(black)
+        active = np.where(black, has_black_nbr, ~has_black_nbr)
+        phi = self.coins.bits(self.n)
+        new_black = black.copy()
+        if self.eager_white_promotion:
+            # Ablation: active white vertices turn black deterministically;
+            # active black vertices still flip the fair coin.
+            new_black[active & ~black] = True
+            active_black = active & black
+            new_black[active_black] = phi[active_black]
+        else:
+            new_black[active] = phi[active]
+        self.black = new_black
+
+    # ------------------------------------------------------------------
+    def black_mask(self) -> np.ndarray:
+        return self.black.copy()
+
+    def active_mask(self) -> np.ndarray:
+        """``A_t``: black with a black neighbour, or white with none."""
+        has_black_nbr = self.ops.exists(self.black)
+        return np.where(self.black, has_black_nbr, ~has_black_nbr)
+
+    def state_vector(self) -> np.ndarray:
+        return self.black.copy()
+
+    def corrupt(self, states: np.ndarray) -> None:
+        self.black = validate_two_state(states, self.n)
+
+    def corrupt_vertices(self, vertices, black: bool) -> None:
+        """Set the given vertices' colors (targeted fault injection)."""
+        idx = np.asarray(list(vertices), dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n):
+            raise ValueError("vertex index out of range")
+        self.black[idx] = black
+
+    # ------------------------------------------------------------------
+    # Extra introspection used by the analysis experiments
+    # ------------------------------------------------------------------
+    def active_neighbor_counts(self) -> np.ndarray:
+        """``|N(u) ∩ A_t|`` for every u (k-activity, §4.1)."""
+        return self.ops.count(self.active_mask())
+
+    def k_active_mask(self, k: int) -> np.ndarray:
+        """``A^k_t``: active vertices with at most k active neighbours."""
+        active = self.active_mask()
+        return active & (self.ops.count(active) <= k)

@@ -1,0 +1,87 @@
+"""CLI for the experiment registry.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run E1 [--full] [--seed N]
+    python -m repro.experiments run all [--full] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import list_experiments, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list registered experiments")
+    run_parser = sub.add_parser("run", help="run experiment(s)")
+    run_parser.add_argument("experiment", help="experiment id or 'all'")
+    run_parser.add_argument(
+        "--full", action="store_true",
+        help="full-size run (default: fast)",
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+
+    report_parser = sub.add_parser(
+        "report", help="run all experiments and write a markdown report"
+    )
+    report_parser.add_argument("--out", default="report.md")
+    report_parser.add_argument("--full", action="store_true")
+    report_parser.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for eid, title in list_experiments():
+            print(f"{eid:>4}  {title}")
+        return 0
+
+    if args.command == "report":
+        import pathlib
+
+        sections = []
+        any_failed = False
+        for eid, title in list_experiments():
+            start = time.time()
+            result = run_experiment(eid, fast=not args.full, seed=args.seed)
+            elapsed = time.time() - start
+            any_failed |= not result.passed
+            status = "PASS" if result.passed else "FAIL"
+            sections.append(
+                f"## {eid}: {title} — {status} ({elapsed:.1f}s)\n\n"
+                "```\n" + result.report() + "\n```\n"
+            )
+            print(f"{eid}: {status} ({elapsed:.1f}s)")
+        mode = "full" if args.full else "fast"
+        pathlib.Path(args.out).write_text(
+            f"# Experiment report ({mode} mode, seed {args.seed})\n\n"
+            + "\n".join(sections)
+        )
+        print(f"wrote {args.out}")
+        return 1 if any_failed else 0
+
+    ids = (
+        [eid for eid, _ in list_experiments()]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    any_failed = False
+    for eid in ids:
+        start = time.time()
+        result = run_experiment(eid, fast=not args.full, seed=args.seed)
+        elapsed = time.time() - start
+        print(result.report())
+        print(f"\n({eid} completed in {elapsed:.1f}s, "
+              f"{'PASS' if result.passed else 'FAIL'})\n")
+        any_failed |= not result.passed
+    return 1 if any_failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

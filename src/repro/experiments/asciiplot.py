@@ -1,0 +1,92 @@
+"""Terminal scatter/line plots (matplotlib is unavailable offline).
+
+Good enough to eyeball the growth shapes the experiments report: log-x
+scatter of stabilization time vs n, progress curves, and switch traces.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+    title: str | None = None,
+    marker: str = "*",
+) -> str:
+    """Render an ASCII scatter plot of (xs, ys).
+
+    Parameters
+    ----------
+    xs, ys:
+        Data (equal length, non-empty).
+    width, height:
+        Plot area in characters.
+    logx, logy:
+        Use log10 scales (points with non-positive coordinates are
+        dropped on log axes).
+    title:
+        Optional heading line.
+    marker:
+        Point glyph.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    points = [
+        (float(x), float(y))
+        for x, y in zip(xs, ys)
+        if (not logx or x > 0) and (not logy or y > 0)
+    ]
+    if not points:
+        raise ValueError("no plottable points")
+
+    def tx(x: float) -> float:
+        return math.log10(x) if logx else x
+
+    def ty(y: float) -> float:
+        return math.log10(y) if logy else y
+
+    pxs = [tx(x) for x, _ in points]
+    pys = [ty(y) for _, y in points]
+    x_lo, x_hi = min(pxs), max(pxs)
+    y_lo, y_hi = min(pys), max(pys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for px, py in zip(pxs, pys):
+        col = int(round((px - x_lo) / x_span * (width - 1)))
+        row = int(round((py - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = marker
+
+    y_hi_label = f"{10 ** y_hi:.3g}" if logy else f"{y_hi:.3g}"
+    y_lo_label = f"{10 ** y_lo:.3g}" if logy else f"{y_lo:.3g}"
+    x_lo_label = f"{10 ** x_lo:.3g}" if logx else f"{x_lo:.3g}"
+    x_hi_label = f"{10 ** x_hi:.3g}" if logx else f"{x_hi:.3g}"
+    label_w = max(len(y_hi_label), len(y_lo_label))
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            label = y_hi_label.rjust(label_w)
+        elif i == height - 1:
+            label = y_lo_label.rjust(label_w)
+        else:
+            label = " " * label_w
+        lines.append(f"{label} |{''.join(row_chars)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    footer = (
+        " " * label_w + "  " + x_lo_label
+        + " " * max(1, width - len(x_lo_label) - len(x_hi_label))
+        + x_hi_label
+    )
+    lines.append(footer)
+    return "\n".join(lines)

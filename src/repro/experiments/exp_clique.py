@@ -1,0 +1,122 @@
+"""E1 — Theorem 8: the 2-state MIS process on complete graphs.
+
+Claims under test:
+
+1. Expected stabilization time on K_n is O(log n).
+2. W.h.p. it is O(log² n) — and indeed Θ(log² n): the tail satisfies
+   P[T >= k·log n] = 2^-Θ(k), so the maximum over many trials grows like
+   log² n while the mean stays ~log n.
+
+The experiment sweeps n geometrically, reports mean/median/p90/max over
+trials, fits growth shapes, and estimates the tail exponent at a fixed n
+by regressing log₂ P[T >= k log n] on k.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.two_state import TwoStateMIS
+from repro.experiments.fitting import fit_power_law, fit_polylog
+from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.tables import format_table
+from repro.graphs.generators import complete_graph
+from repro.sim.montecarlo import estimate_stabilization_time
+
+
+@register("E1", "Theorem 8: K_n stabilizes in O(log n) exp / Θ(log² n) w.h.p.")
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    if fast:
+        ns = [32, 64, 128, 256]
+        trials = 20
+        tail_n, tail_trials = 128, 200
+    else:
+        ns = [32, 64, 128, 256, 512, 1024, 2048]
+        trials = 100
+        tail_n, tail_trials = 256, 2000
+
+    rows = []
+    mean_times = []
+    max_times = []
+    for idx, n in enumerate(ns):
+        graph = complete_graph(n)
+        stats = estimate_stabilization_time(
+            lambda s, g=graph: TwoStateMIS(g, coins=s),
+            trials=trials,
+            max_rounds=200 * int(math.log2(n)) ** 2 + 1000,
+            seed=seed + idx,
+        )
+        rows.append(
+            [n, stats.mean, stats.median, stats.quantile(0.9), stats.max,
+             stats.mean / math.log(n), stats.max / math.log(n) ** 2]
+        )
+        mean_times.append(stats.mean)
+        max_times.append(stats.max)
+
+    table = format_table(
+        ["n", "mean", "median", "p90", "max", "mean/ln n", "max/ln² n"],
+        rows,
+        title="2-state MIS on K_n (stabilization rounds)",
+    )
+
+    mean_fit = fit_power_law(np.array(ns), np.array(mean_times))
+    mean_polylog = fit_polylog(np.array(ns), np.array(mean_times))
+
+    # Tail estimate at fixed n: P[T >= k log n] vs k.
+    graph = complete_graph(tail_n)
+    log_n = math.log(tail_n)
+    tail_stats = estimate_stabilization_time(
+        lambda s: TwoStateMIS(graph, coins=s),
+        trials=tail_trials,
+        max_rounds=400 * int(log_n) ** 2 + 1000,
+        seed=seed + 1000,
+    )
+    times = tail_stats.times
+    ks = np.arange(1, 8)
+    tail_probs = np.array(
+        [np.mean(times >= k * log_n) for k in ks]
+    )
+    tail_rows = [
+        [int(k), float(p)] for k, p in zip(ks, tail_probs) if p > 0
+    ]
+    tail_table = format_table(
+        ["k", "P[T >= k ln n]"],
+        tail_rows,
+        title=f"Tail at n={tail_n} ({tail_trials} trials)",
+    )
+    # Geometric-decay check on the observed tail (where p in (0, 1)).
+    informative = tail_probs[(tail_probs > 0) & (tail_probs < 1)]
+    geometric = True
+    if len(informative) >= 2:
+        ratios = informative[1:] / informative[:-1]
+        geometric = bool(np.all(ratios <= 0.9))
+
+    # The ratio mean/ln n should be ~flat: its range across the sweep
+    # should stay within a small multiplicative band.
+    ratio = np.array(mean_times) / np.log(np.array(ns, dtype=float))
+    flat_mean = bool(ratio.max() / max(ratio.min(), 1e-9) < 3.0)
+
+    return ExperimentResult(
+        experiment_id="E1",
+        title="2-state MIS on complete graphs (Theorem 8)",
+        tables=[table, tail_table],
+        verdicts={
+            "mean grows sublinearly in n (power exponent < 0.25)":
+                mean_fit.b < 0.25,
+            "mean/ln n stays within a 3x band across the sweep": flat_mean,
+            "tail P[T >= k ln n] decays geometrically": geometric,
+        },
+        data={
+            "ns": ns,
+            "mean_times": mean_times,
+            "max_times": max_times,
+            "mean_power_fit": (mean_fit.a, mean_fit.b, mean_fit.r_squared),
+            "mean_polylog_fit": (
+                mean_polylog.a, mean_polylog.b, mean_polylog.r_squared
+            ),
+            "tail_ks": ks.tolist(),
+            "tail_probs": tail_probs.tolist(),
+        },
+    )

@@ -1,0 +1,159 @@
+"""E15 — the paper's conjecture: 2-state MIS is polylog on *all* graphs.
+
+§1.1: "we conjecture that the stabilization time of the 2-state MIS
+process is poly(log n) w.h.p. on any given n-vertex graph", with
+Θ(log² n) the best possible general bound (complete graph / disjoint
+cliques).  No proof exists; this experiment stress-tests the conjecture
+on a zoo of structurally adversarial families that defeat the covered
+regimes:
+
+* complete bipartite K_{n/2,n/2} (huge common neighbourhoods — P5
+  fails badly, so the good-graph analysis does not apply);
+* barbell (two cliques + long path: clique dynamics gated by a path);
+* ring of cliques (dense pockets + global cycle);
+* hypercube (log-degree, highly symmetric);
+* lollipop (clique + path);
+* planted partition (dense communities, sparse cuts);
+* middle-regime G(n, n^-1/4) (the open case for the 2-state process).
+
+For each family we sweep n and check the polylog shape (flat
+mean/ln² n band).  A refutation of the conjecture would show up here as
+a family with a growing band — the experiment reports rather than
+hides that possibility.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.two_state import TwoStateMIS
+from repro.experiments.fitting import fit_power_law
+from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.tables import format_table
+from repro.graphs.generators import (
+    barbell_graph,
+    complete_bipartite_graph,
+    hypercube_graph,
+    lollipop_graph,
+    ring_of_cliques,
+)
+from repro.graphs.random_graphs import (
+    gnp_random_graph,
+    planted_partition_graph,
+)
+from repro.sim.montecarlo import estimate_stabilization_time
+
+
+def _families(fast: bool):
+    sizes = [64, 128, 256] if fast else [64, 128, 256, 512, 1024, 2048]
+
+    def bipartite(n):
+        graph = complete_bipartite_graph(n // 2, n - n // 2)
+        return lambda s: TwoStateMIS(graph, coins=s)
+
+    def barbell(n):
+        clique = max(3, n * 2 // 5)
+        graph = barbell_graph(clique, n - 2 * clique)
+        return lambda s: TwoStateMIS(graph, coins=s)
+
+    def ring(n):
+        k = max(3, int(round(math.sqrt(n))))
+        graph = ring_of_cliques(k, max(1, n // k))
+        return lambda s: TwoStateMIS(graph, coins=s)
+
+    def hypercube(n):
+        dim = max(2, int(round(math.log2(n))))
+        graph = hypercube_graph(dim)
+        return lambda s: TwoStateMIS(graph, coins=s)
+
+    def lollipop(n):
+        clique = max(3, n // 2)
+        graph = lollipop_graph(clique, n - clique)
+        return lambda s: TwoStateMIS(graph, coins=s)
+
+    def planted(n):
+        def make(s):
+            rng = np.random.default_rng(s)
+            k = max(2, n // 64)
+            graph = planted_partition_graph(
+                [n // k] * k, p_in=0.5, p_out=2.0 / n, rng=rng
+            )
+            return TwoStateMIS(graph, coins=rng)
+
+        return make
+
+    def middle_gnp(n):
+        def make(s):
+            rng = np.random.default_rng(s)
+            graph = gnp_random_graph(n, n ** -0.25, rng=rng)
+            return TwoStateMIS(graph, coins=rng)
+
+        return make
+
+    return sizes, {
+        "complete bipartite": bipartite,
+        "barbell": barbell,
+        "ring of cliques": ring,
+        "hypercube": hypercube,
+        "lollipop": lollipop,
+        "planted partition": planted,
+        "G(n, n^-1/4)": middle_gnp,
+    }
+
+
+@register("E15", "Conjecture stress test: 2-state polylog on hard families")
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    sizes, families = _families(fast)
+    trials = 10 if fast else 40
+    tables = []
+    verdicts = {}
+    data = {}
+    for f_idx, (family, factory_of_n) in enumerate(families.items()):
+        rows = []
+        means = []
+        actual_ns = []
+        for idx, n in enumerate(sizes):
+            factory = factory_of_n(n)
+            budget = 2000 * int(math.log2(n)) ** 2 + 5000
+            stats = estimate_stabilization_time(
+                factory, trials=trials, max_rounds=budget,
+                seed=seed + 100 * f_idx + idx,
+            )
+            probe = factory(0)
+            actual_n = probe.n
+            actual_ns.append(actual_n)
+            band = stats.mean / math.log(actual_n) ** 2
+            rows.append(
+                [actual_n, stats.mean, stats.max, band, stats.success_rate]
+            )
+            means.append(stats.mean)
+        tables.append(
+            format_table(
+                ["n", "mean", "max", "mean/ln² n", "success"],
+                rows,
+                title=f"2-state MIS on {family}",
+            )
+        )
+        fit = fit_power_law(
+            np.array(actual_ns, dtype=float), np.array(means)
+        )
+        bands = np.array(means) / np.log(np.array(actual_ns, float)) ** 2
+        verdicts[f"{family}: every trial stabilized"] = all(
+            row[4] == 1.0 for row in rows
+        )
+        verdicts[f"{family}: mean/ln² n within 4x band"] = bool(
+            bands.max() / max(bands.min(), 1e-9) < 4.0
+        )
+        data[family] = {
+            "ns": actual_ns, "means": means,
+            "power_fit": (fit.a, fit.b, fit.r_squared),
+        }
+    return ExperimentResult(
+        experiment_id="E15",
+        title="Conjecture stress test (§1.1)",
+        tables=tables,
+        verdicts=verdicts,
+        data=data,
+    )

@@ -1,0 +1,70 @@
+"""E8 — Lemma 18: a G(n,p) sample is (n,p)-good w.h.p.
+
+Draws G(n,p) samples across a (n, p) grid and runs the Definition 17
+checkers (P1-P4 sampled, P5-P6 exact).  The empirical success rate
+should be 1 at every grid point — Lemma 18's failure probability is
+O(n^-2), far below the resolution of the trial counts here, so even a
+single observed failure would be a red flag worth investigating.
+
+Also reports the P5/P6 *margins* (how far below the bound the worst
+pair sits), which is the informative part at laptop scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.tables import format_table
+from repro.graphs.good import check_good_graph
+from repro.graphs.properties import max_common_neighbors
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.sim.rng import spawn_seeds
+
+
+@register("E8", "Lemma 18: G(n,p) is (n,p)-good w.h.p.")
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    if fast:
+        grid = [(64, 0.1), (64, 0.5), (128, 0.05), (128, 0.3)]
+        trials = 3
+    else:
+        grid = [
+            (64, 0.1), (64, 0.5),
+            (128, 0.05), (128, 0.3),
+            (256, 0.02), (256, 0.1), (256, 0.5),
+            (512, 0.01), (512, 0.1),
+        ]
+        trials = 10
+
+    rows = []
+    verdicts = {}
+    for g_idx, (n, p) in enumerate(grid):
+        good_count = 0
+        worst_common = 0
+        for trial_seed in spawn_seeds(seed + g_idx, trials):
+            rng = np.random.default_rng(trial_seed)
+            graph = gnp_random_graph(n, p, rng=rng)
+            report = check_good_graph(graph, p, rng=rng, samples=20)
+            if report.all_hold:
+                good_count += 1
+            worst_common = max(worst_common, max_common_neighbors(graph))
+        p5_bound = max(6 * n * p * p, 4 * math.log(n))
+        rows.append(
+            [n, f"{p:g}", f"{good_count}/{trials}",
+             worst_common, f"{p5_bound:.1f}"]
+        )
+        verdicts[f"n={n}, p={p:g}: all samples good"] = good_count == trials
+    table = format_table(
+        ["n", "p", "good samples", "worst common nbrs", "P5 bound"],
+        rows,
+        title="Good-graph checks on G(n,p) samples (Definition 17)",
+    )
+    return ExperimentResult(
+        experiment_id="E8",
+        title="G(n,p) goodness (Lemma 18)",
+        tables=[table],
+        verdicts=verdicts,
+        data={"grid": grid, "rows": rows},
+    )

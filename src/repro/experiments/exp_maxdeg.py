@@ -1,0 +1,110 @@
+"""E3 — Theorem 12: O(Δ log n) stabilization for maximum degree Δ.
+
+Two sweeps on random d-regular graphs:
+
+1. Δ-sweep at fixed n: mean stabilization time as a function of d.  The
+   theorem's bound is linear in Δ; the experiment checks the measured
+   growth with d is at most linear (in practice it is much slower —
+   the bound is loose, which we record rather than hide).
+2. n-sweep at fixed Δ: time/ln n stays within a constant band.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.two_state import TwoStateMIS
+from repro.experiments.fitting import fit_power_law
+from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.tables import format_table
+from repro.graphs.random_graphs import random_regular_graph
+from repro.sim.montecarlo import estimate_stabilization_time
+
+
+@register("E3", "Theorem 12: O(Δ log n) for max degree Δ")
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    if fast:
+        fixed_n = 256
+        degrees = [2, 4, 8, 16]
+        ns = [128, 256, 512]
+        fixed_d = 4
+        trials = 15
+    else:
+        fixed_n = 1024
+        degrees = [2, 4, 8, 16, 32, 64]
+        ns = [128, 256, 512, 1024, 2048, 4096]
+        fixed_d = 8
+        trials = 50
+
+    # --- Δ-sweep at fixed n ---
+    d_rows = []
+    d_means = []
+    for idx, d in enumerate(degrees):
+        def make(s, d=d):
+            rng = np.random.default_rng(s)
+            graph = random_regular_graph(fixed_n, d, rng=rng)
+            return TwoStateMIS(graph, coins=rng)
+
+        stats = estimate_stabilization_time(
+            make,
+            trials=trials,
+            max_rounds=100 * d * int(math.log2(fixed_n)) + 2000,
+            seed=seed + idx,
+        )
+        bound = 6 * math.e * d * math.log(fixed_n)
+        d_rows.append([d, stats.mean, stats.max, stats.max / bound])
+        d_means.append(stats.mean)
+    d_table = format_table(
+        ["Δ", "mean", "max", "max / (6eΔ ln n)"],
+        d_rows,
+        title=f"Δ-sweep on random Δ-regular graphs, n={fixed_n}",
+    )
+    d_fit = fit_power_law(np.array(degrees, dtype=float), np.array(d_means))
+
+    # --- n-sweep at fixed Δ ---
+    n_rows = []
+    n_means = []
+    for idx, n in enumerate(ns):
+        def make(s, n=n):
+            rng = np.random.default_rng(s)
+            graph = random_regular_graph(n, fixed_d, rng=rng)
+            return TwoStateMIS(graph, coins=rng)
+
+        stats = estimate_stabilization_time(
+            make,
+            trials=trials,
+            max_rounds=100 * fixed_d * int(math.log2(n)) + 2000,
+            seed=seed + 100 + idx,
+        )
+        n_rows.append([n, stats.mean, stats.max, stats.mean / math.log(n)])
+        n_means.append(stats.mean)
+    n_table = format_table(
+        ["n", "mean", "max", "mean/ln n"],
+        n_rows,
+        title=f"n-sweep on random {fixed_d}-regular graphs",
+    )
+    n_fit = fit_power_law(np.array(ns, dtype=float), np.array(n_means))
+    within_bound = all(row[3] <= 1.0 for row in d_rows)
+
+    return ExperimentResult(
+        experiment_id="E3",
+        title="2-state MIS under bounded degree (Theorem 12)",
+        tables=[d_table, n_table],
+        verdicts={
+            "growth in Δ at most linear (power exponent <= 1.1)":
+                d_fit.b <= 1.1,
+            "all runs within the 6eΔ ln n bound": within_bound,
+            "n-growth sublinear at fixed Δ (power exponent < 0.25)":
+                n_fit.b < 0.25,
+        },
+        data={
+            "degrees": degrees,
+            "d_means": d_means,
+            "d_fit": (d_fit.a, d_fit.b, d_fit.r_squared),
+            "ns": ns,
+            "n_means": n_means,
+            "n_fit": (n_fit.a, n_fit.b, n_fit.r_squared),
+        },
+    )

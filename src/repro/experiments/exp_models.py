@@ -1,0 +1,131 @@
+"""E12 — Weak communication: the processes as beeping / stone-age protocols.
+
+The paper's translation claims (§1):
+
+* the 2-state process runs in the beeping model with sender collision
+  detection — black nodes beep, white nodes listen, one feedback bit
+  per round;
+* the 3-state process runs in the synchronous stone age model —
+  constant channels, no collision detection.
+
+The experiment (a) proves operational equivalence: under shared coins,
+the beeping-network execution of the 2-state protocol is
+*trajectory-identical* to the abstract process; (b) runs both model
+implementations to stabilization on a workload suite, verifying the
+resulting MISes; and (c) reports the communication cost per round
+(bits observed per node — exactly 1 for beeping, 2 for the two-channel
+stone-age protocol).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.two_state import TwoStateMIS
+from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.tables import format_table
+from repro.graphs.generators import complete_graph, cycle_graph
+from repro.graphs.random_graphs import gnp_random_graph, random_tree
+from repro.models.beeping import BeepingTwoStateMIS
+from repro.models.stone_age import StoneAgeThreeStateMIS
+from repro.sim.runner import run_until_stable
+from repro.sim.rng import spawn_seeds
+
+
+@register("E12", "Beeping / stone-age realizations of the processes")
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    if fast:
+        n = 64
+        trials = 5
+        equiv_rounds = 60
+    else:
+        n = 256
+        trials = 20
+        equiv_rounds = 200
+
+    suite = {
+        "clique": complete_graph(n),
+        "cycle": cycle_graph(n),
+        "tree": random_tree(n, rng=seed + 2),
+        "gnp": gnp_random_graph(n, 2 * math.log(n) / n, rng=seed + 3),
+    }
+    budget = 5000 * int(math.log2(n)) + 20000
+
+    # (a) Trajectory equivalence beeping vs abstract, shared coins.
+    equiv_ok = True
+    for graph in suite.values():
+        shared_seed = seed + 11
+        abstract = TwoStateMIS(graph, coins=shared_seed, backend="adjlist")
+        beeping = BeepingTwoStateMIS(graph, coins=shared_seed)
+        for _ in range(equiv_rounds):
+            abstract.step()
+            beeping.step()
+            if not np.array_equal(abstract.black_mask(), beeping.black_mask()):
+                equiv_ok = False
+                break
+
+    # (b) Stabilization of both model implementations on the suite,
+    # with measured channel traffic (beeps per node per round).
+    rows = []
+    all_stabilized = True
+    for graph_name, graph in suite.items():
+        beep_times = []
+        stone_times = []
+        beep_traffic = []
+        stone_traffic = []
+        for s in spawn_seeds(seed + 21, trials):
+            beeping = BeepingTwoStateMIS(graph, coins=s)
+            result_b = run_until_stable(beeping, max_rounds=budget)
+            stone = StoneAgeThreeStateMIS(graph, coins=s + 1)
+            result_s = run_until_stable(stone, max_rounds=budget)
+            all_stabilized &= result_b.stabilized and result_s.stabilized
+            if result_b.stabilized:
+                beep_times.append(result_b.stabilization_round)
+                if beeping.network.deliveries:
+                    beep_traffic.append(
+                        beeping.network.beeps_per_node_round()
+                    )
+            if result_s.stabilized:
+                stone_times.append(result_s.stabilization_round)
+                if stone.network.deliveries:
+                    stone_traffic.append(
+                        stone.network.total_beeps
+                        / (stone.network.deliveries * graph.n)
+                    )
+        rows.append(
+            [graph_name,
+             float(np.mean(beep_times)) if beep_times else float("nan"),
+             float(np.mean(beep_traffic)) if beep_traffic else float("nan"),
+             float(np.mean(stone_times)) if stone_times else float("nan"),
+             float(np.mean(stone_traffic)) if stone_traffic
+             else float("nan")]
+        )
+    table = format_table(
+        ["graph", "beeping mean rounds", "beeps/node/round",
+         "stone-age mean rounds", "beeps/node/round (SA)"],
+        rows,
+        title=f"Model executions on n={n} ({trials} trials); traffic is "
+              f"measured, and is <= 1 beep/node/round by construction",
+    )
+    cost_table = format_table(
+        ["protocol", "states/vertex", "channels", "feedback bits/round",
+         "random bits/round"],
+        [
+            ["2-state beeping (full duplex)", 2, 1, 1, 1],
+            ["3-state stone age", 3, 2, 2, 1],
+        ],
+        title="Communication budget per node",
+    )
+
+    return ExperimentResult(
+        experiment_id="E12",
+        title="Weak-communication realizations (§1 translations)",
+        tables=[table, cost_table],
+        verdicts={
+            "beeping execution ≡ abstract 2-state (shared coins)": equiv_ok,
+            "all model runs stabilize to valid MISes": all_stabilized,
+        },
+        data={"rows": rows},
+    )

@@ -1,0 +1,118 @@
+"""E13 — Lemmas 21-23 (and 34-37): per-regime expected progress.
+
+The heart of the G(n,p) analysis is a potential argument: from *any*
+state, within O(log n) rounds the expected number of non-stable
+vertices |V_t| shrinks by a factor (1 - ε/polylog).  The three lemmas
+split by regime:
+
+* Lemma 21: many active vertices (|A_t| >= 80 ln n / p) → constant-
+  factor decay per log n rounds;
+* Lemma 22: many unstable, few active (|V_t| >= 10 ln² n / p,
+  |A_t| <= 80 ln n / p) → decay (1 - ε/ln n);
+* Lemma 23: few unstable (|V_t| <= 10 ln² n / p, sparse regime) →
+  decay (1 - ε/ln^3.5 n).
+
+The experiment runs trajectories on G(n,p), classifies each round into
+its regime, measures the realized |V_{t+log n}| / |V_t| ratios per
+regime, and checks each regime's mean ratio is < 1 (progress happens in
+*every* regime — the composition of which is exactly the proof of
+Lemma 20).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.two_state import TwoStateMIS
+from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.tables import format_table
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.sim.rng import spawn_seeds
+
+
+#: The paper's regime constants are 80·ln(n)/p (L21) and 10·ln²(n)/p
+#: (L22).  At laptop n those exceed n — the L21/L22 regimes are *empty*,
+#: making the lemmas vacuous at this scale.  To probe the mechanism
+#: (decay whenever many-active / many-unstable / few-unstable), we
+#: classify with scaled constants and report the scaling openly.
+L21_SCALE = 2.0
+L22_SCALE = 0.5
+
+
+def _classify(unstable: int, active: int, n: int, p: float) -> str:
+    """Scaled regime of Lemmas 21/22/23 for the given counts."""
+    log_n = math.log(n)
+    if active >= L21_SCALE * log_n / p:
+        return "L21 (many active)"
+    if unstable >= L22_SCALE * log_n ** 2 / p:
+        return "L22 (many unstable, few active)"
+    return "L23 (few unstable)"
+
+
+@register("E13", "Lemmas 21-23: per-regime |V_t| decay on G(n,p)")
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    if fast:
+        n = 256
+        trials = 10
+    else:
+        n = 1024
+        trials = 40
+    p = 6.0 * math.log(n) / n  # sparse-covered regime with all regimes hit
+    window = max(1, int(math.log2(n)))
+
+    ratios: dict[str, list[float]] = {}
+    visits: dict[str, int] = {}
+    for trial_seed in spawn_seeds(seed, trials):
+        rng = np.random.default_rng(trial_seed)
+        graph = gnp_random_graph(n, p, rng=rng)
+        proc = TwoStateMIS(graph, coins=rng)
+        # Record |V_t|, |A_t| along the trajectory.
+        unstable_curve = []
+        active_curve = []
+        for _ in range(60 * window):
+            unstable_curve.append(int(proc.unstable_mask().sum()))
+            active_curve.append(int(proc.active_mask().sum()))
+            if unstable_curve[-1] == 0:
+                break
+            proc.step()
+        # Windowed ratios with regime classification at window start.
+        for t in range(0, len(unstable_curve) - window):
+            v_now = unstable_curve[t]
+            if v_now == 0:
+                break
+            regime = _classify(v_now, active_curve[t], n, p)
+            ratio = unstable_curve[t + window] / v_now
+            ratios.setdefault(regime, []).append(ratio)
+            visits[regime] = visits.get(regime, 0) + 1
+
+    rows = []
+    verdicts = {}
+    for regime in sorted(ratios):
+        values = np.array(ratios[regime])
+        mean_ratio = float(values.mean())
+        rows.append(
+            [regime, visits[regime], mean_ratio,
+             float(np.quantile(values, 0.9))]
+        )
+        verdicts[f"{regime}: mean window decay < 1"] = mean_ratio < 1.0
+    table = format_table(
+        ["regime", "windows observed", "mean |V_{t+w}|/|V_t|", "p90"],
+        rows,
+        title=(
+            f"Per-regime decay of |V_t| over w={window} rounds, "
+            f"G({n}, {p:.4f}), {trials} trials "
+            f"(regime constants scaled: {L21_SCALE:g}·ln n/p, "
+            f"{L22_SCALE:g}·ln² n/p — see module docs)"
+        ),
+    )
+    verdicts["all three regimes observed"] = len(ratios) == 3
+
+    return ExperimentResult(
+        experiment_id="E13",
+        title="Per-regime progress (Lemmas 21-23)",
+        tables=[table],
+        verdicts=verdicts,
+        data={"rows": rows},
+    )

@@ -1,0 +1,134 @@
+"""E17 — the 3-state process across graph families (§1.1, footnote 2).
+
+The paper does not analyze the 3-state process but states two beliefs:
+
+* "we expect that it behaves similarly (or better than) the 2-state MIS
+  process" (footnote 2);
+* "For the 3-state process, we have no example of a graph where the
+  stabilization time is larger than O(log n)" (§1.1).
+
+This experiment sweeps the same families as E2/E5/E15 plus cliques and
+G(n,p), measuring the 3-state process and checking (a) mean/ln n stays
+in a constant band everywhere — the O(log n) belief — and (b) it is
+never meaningfully slower than the 2-state process (Mann-Whitney,
+one-sided, at the largest size per family).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.three_state import ThreeStateMIS
+from repro.core.two_state import TwoStateMIS
+from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.tables import format_table
+from repro.graphs.generators import complete_graph, disjoint_cliques
+from repro.graphs.random_graphs import gnp_random_graph, random_tree
+from repro.sim.montecarlo import estimate_stabilization_time
+from repro.sim.stats import mann_whitney_faster
+
+
+def _families(fast: bool):
+    sizes = [64, 144, 256] if fast else [64, 144, 256, 576, 1024, 2025]
+
+    def clique(n):
+        graph = complete_graph(n)
+        return lambda s: (graph, s)
+
+    def tree(n):
+        def make(s):
+            rng = np.random.default_rng(s)
+            return (random_tree(n, rng=rng), rng)
+
+        return make
+
+    def gnp(n):
+        def make(s):
+            rng = np.random.default_rng(s)
+            return (gnp_random_graph(n, 3 * math.log(n) / n, rng=rng), rng)
+
+        return make
+
+    def cliques(n):
+        side = int(round(math.sqrt(n)))
+        graph = disjoint_cliques(side, side)
+        return lambda s: (graph, s)
+
+    return sizes, {
+        "clique K_n": clique,
+        "random tree": tree,
+        "G(n, 3 ln n/n)": gnp,
+        "√n · K_√n": cliques,
+    }
+
+
+@register("E17", "3-state process: O(log n) everywhere? (§1.1 belief)")
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    sizes, families = _families(fast)
+    trials = 12 if fast else 50
+    tables = []
+    verdicts = {}
+    data = {}
+    for f_idx, (family, factory_of_n) in enumerate(families.items()):
+        rows = []
+        means3 = []
+        largest_times = {}
+        for idx, n in enumerate(sizes):
+            make_inputs = factory_of_n(n)
+            budget = 500 * int(math.log2(n)) ** 2 + 2000
+
+            def factory3(s, mk=make_inputs):
+                graph, coins = mk(s)
+                return ThreeStateMIS(graph, coins=coins)
+
+            def factory2(s, mk=make_inputs):
+                graph, coins = mk(s)
+                return TwoStateMIS(graph, coins=coins)
+
+            stats3 = estimate_stabilization_time(
+                factory3, trials=trials, max_rounds=budget,
+                seed=seed + 100 * f_idx + idx,
+            )
+            stats2 = estimate_stabilization_time(
+                factory2, trials=trials, max_rounds=budget,
+                seed=seed + 500 + 100 * f_idx + idx,
+            )
+            rows.append(
+                [n, stats3.mean, stats3.mean / math.log(n),
+                 stats2.mean, stats3.max]
+            )
+            means3.append(stats3.mean)
+            if idx == len(sizes) - 1:
+                largest_times = {"3": stats3.times, "2": stats2.times}
+        tables.append(
+            format_table(
+                ["n", "3-state mean", "3s mean/ln n", "2-state mean",
+                 "3-state max"],
+                rows,
+                title=f"3-state vs 2-state on {family}",
+            )
+        )
+        band = np.array(means3) / np.log(np.array(sizes, dtype=float))
+        verdicts[f"{family}: 3-state mean/ln n within 3x band"] = bool(
+            band.max() / max(band.min(), 1e-9) < 3.0
+        )
+        # "similar or better": 2-state must NOT be significantly faster.
+        comparison = mann_whitney_faster(
+            largest_times["2"], largest_times["3"], alpha=0.001
+        )
+        verdicts[f"{family}: 2-state not significantly faster"] = (
+            not comparison["faster"]
+        )
+        data[family] = {
+            "sizes": sizes, "means3": means3,
+            "mw_p_value": comparison["p_value"],
+        }
+    return ExperimentResult(
+        experiment_id="E17",
+        title="3-state process study (§1.1 / footnote 2)",
+        tables=tables,
+        verdicts=verdicts,
+        data=data,
+    )

@@ -1,0 +1,111 @@
+"""Shape-fitting for stabilization-time curves.
+
+The theorems predict growth shapes, not constants:
+
+* Theorem 8:  T(n) = Θ(log n) expected, Θ(log² n) w.h.p. on K_n.
+* Theorem 11: T(n) = O(log n) on bounded arboricity.
+* Theorem 12: T(n) = O(Δ log n).
+* Theorems 19/32: T(n) = polylog(n).
+
+:func:`fit_polylog` regresses ``log T`` on ``log log n`` to estimate the
+polylog exponent b in ``T(n) ≈ a · (ln n)^b``; :func:`fit_power_law`
+regresses ``log T`` on ``log n`` to estimate c in ``T(n) ≈ a · n^c``.  A
+polylog-time process shows a small power-law exponent that *decreases*
+with scale and a stable polylog exponent; a polynomial-time process
+shows the opposite.  Both fits report R².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class PolylogFit:
+    """Result of fitting ``T(n) = a * (ln n)^b`` (or ``a * n^b``).
+
+    Attributes
+    ----------
+    a:
+        Multiplicative constant.
+    b:
+        Exponent.
+    r_squared:
+        Coefficient of determination of the log-space linear fit.
+    model:
+        Either ``"polylog"`` (regressor log log n) or ``"power"``
+        (regressor log n).
+    """
+
+    a: float
+    b: float
+    r_squared: float
+    model: str
+
+    def predict(self, n: float) -> float:
+        """Predicted T at the given n."""
+        if self.model == "polylog":
+            return self.a * np.log(n) ** self.b
+        return self.a * n ** self.b
+
+    def __str__(self) -> str:
+        form = "(ln n)^" if self.model == "polylog" else "n^"
+        return (
+            f"T(n) ≈ {self.a:.3g} · {form}{self.b:.2f}  (R²={self.r_squared:.3f})"
+        )
+
+
+def _linear_fit(x: np.ndarray, y: np.ndarray) -> tuple[float, float, float]:
+    """Least-squares y = intercept + slope*x with R²."""
+    if len(x) < 2:
+        raise ValueError("need at least two points to fit")
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = intercept + slope * x
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(slope), float(intercept), r2
+
+
+def fit_polylog(ns: np.ndarray, times: np.ndarray) -> PolylogFit:
+    """Fit ``T(n) = a (ln n)^b`` from (n, T) samples.
+
+    Points with non-positive T are dropped (log space).
+    """
+    ns = np.asarray(ns, dtype=float)
+    times = np.asarray(times, dtype=float)
+    keep = (times > 0) & (ns > np.e)  # need ln ln n defined and positive
+    ns, times = ns[keep], times[keep]
+    slope, intercept, r2 = _linear_fit(
+        np.log(np.log(ns)), np.log(times)
+    )
+    return PolylogFit(a=float(np.exp(intercept)), b=slope, r_squared=r2,
+                      model="polylog")
+
+
+def fit_power_law(ns: np.ndarray, times: np.ndarray) -> PolylogFit:
+    """Fit ``T(n) = a n^b`` from (n, T) samples."""
+    ns = np.asarray(ns, dtype=float)
+    times = np.asarray(times, dtype=float)
+    keep = (times > 0) & (ns > 1)
+    ns, times = ns[keep], times[keep]
+    slope, intercept, r2 = _linear_fit(np.log(ns), np.log(times))
+    return PolylogFit(a=float(np.exp(intercept)), b=slope, r_squared=r2,
+                      model="power")
+
+
+def classify_growth(ns: np.ndarray, times: np.ndarray) -> str:
+    """Heuristic classification: ``"polylog"`` vs ``"polynomial"``.
+
+    Compares the fit quality of the two models and the magnitude of the
+    power-law exponent.  Polynomial growth with exponent < 0.1 is
+    indistinguishable from polylog at laptop scales and is classified as
+    polylog — exactly the resolution the reproduction claims.
+    """
+    power = fit_power_law(ns, times)
+    if power.b < 0.1:
+        return "polylog"
+    poly = fit_polylog(ns, times)
+    return "polylog" if poly.r_squared >= power.r_squared else "polynomial"

@@ -1,0 +1,106 @@
+"""Experiment registry and CLI plumbing.
+
+Experiments register themselves with :func:`register`; the CLI
+(``python -m repro.experiments``) and the benchmark suite look them up
+by id (E1, E2, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class ExperimentResult:
+    """Standardized output of an experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        The registry id (e.g. ``"E1"``).
+    title:
+        Human-readable claim under test.
+    tables:
+        Rendered text tables (one per reported table).
+    verdicts:
+        Named boolean checks (claim-shape assertions).  The experiment
+        *passes* if all verdicts are True.
+    data:
+        Raw numbers for downstream use (benchmarks, EXPERIMENTS.md).
+    """
+
+    experiment_id: str
+    title: str
+    tables: list[str] = field(default_factory=list)
+    verdicts: dict[str, bool] = field(default_factory=dict)
+    data: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """True iff every verdict holds."""
+        return all(self.verdicts.values())
+
+    def report(self) -> str:
+        """Full text report."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for table in self.tables:
+            lines.append("")
+            lines.append(table)
+        if self.verdicts:
+            lines.append("")
+            lines.append("Verdicts:")
+            for name, ok in self.verdicts.items():
+                lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _Entry:
+    experiment_id: str
+    title: str
+    func: Callable[..., ExperimentResult]
+
+
+_REGISTRY: dict[str, _Entry] = {}
+
+
+def register(experiment_id: str, title: str):
+    """Decorator registering ``func(fast, seed) -> ExperimentResult``."""
+
+    def wrap(func: Callable[..., ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id}")
+        _REGISTRY[experiment_id] = _Entry(experiment_id, title, func)
+        return func
+
+    return wrap
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """Sorted (id, title) pairs of all registered experiments."""
+
+    def sort_key(eid: str):
+        return (len(eid), eid)
+
+    return [
+        (eid, _REGISTRY[eid].title)
+        for eid in sorted(_REGISTRY, key=sort_key)
+    ]
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up an experiment's run function by id."""
+    if experiment_id not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[experiment_id].func
+
+
+def run_experiment(
+    experiment_id: str, fast: bool = True, seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id)(fast=fast, seed=seed)

@@ -1,0 +1,197 @@
+"""Deterministic graph families used by the experiments.
+
+These are the workloads the paper reasons about explicitly: complete graphs
+(Theorem 8), trees and bounded-arboricity graphs (Theorem 11), bounded
+degree graphs (Theorem 12), and the disjoint-clique union of Remark 9.  A
+few extra standard families (grids, hypercubes, caterpillars, ...) are
+included for the test suite and the arboricity experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.graphs.graph import Graph, GraphBuilder
+
+
+def empty_graph(n: int) -> Graph:
+    """Graph with ``n`` vertices and no edges."""
+    return Graph(n)
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n`` (Theorem 8 workload)."""
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return Graph(n, edges)
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``P_n`` on ``n`` vertices (arboricity 1)."""
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle ``C_n``; requires ``n >= 3``."""
+    if n < 3:
+        raise ValueError(f"cycle requires n >= 3, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph(n, edges)
+
+
+def star_graph(n: int) -> Graph:
+    """Star with one hub (vertex 0) and ``n - 1`` leaves."""
+    if n < 1:
+        raise ValueError("star requires n >= 1")
+    return Graph(n, [(0, i) for i in range(1, n)])
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """``K_{a,b}`` with parts ``0..a-1`` and ``a..a+b-1``."""
+    edges = [(u, a + v) for u in range(a) for v in range(b)]
+    return Graph(a + b, edges)
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` grid (arboricity ≤ 2, max degree 4)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid requires rows, cols >= 1")
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+    return Graph(rows * cols, edges)
+
+
+def hypercube_graph(dim: int) -> Graph:
+    """The ``dim``-dimensional hypercube ``Q_dim`` (2^dim vertices)."""
+    if dim < 0:
+        raise ValueError("dim must be >= 0")
+    n = 1 << dim
+    edges = [
+        (u, u ^ (1 << bit)) for u in range(n) for bit in range(dim)
+        if u < (u ^ (1 << bit))
+    ]
+    return Graph(n, edges)
+
+
+def balanced_tree(branching: int, height: int) -> Graph:
+    """Complete ``branching``-ary tree of the given height.
+
+    Height 0 is a single root.  Vertices are numbered in BFS order.
+    """
+    if branching < 1:
+        raise ValueError("branching must be >= 1")
+    if height < 0:
+        raise ValueError("height must be >= 0")
+    builder = GraphBuilder(1)
+    frontier = [0]
+    for _ in range(height):
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                child = builder.add_vertex()
+                builder.add_edge(parent, child)
+                next_frontier.append(child)
+        frontier = next_frontier
+    return builder.build()
+
+
+def caterpillar_graph(spine: int, legs_per_vertex: int) -> Graph:
+    """A caterpillar: a path of ``spine`` vertices, each with pendant legs."""
+    if spine < 1:
+        raise ValueError("spine must be >= 1")
+    if legs_per_vertex < 0:
+        raise ValueError("legs_per_vertex must be >= 0")
+    builder = GraphBuilder(spine)
+    builder.add_path(range(spine))
+    for s in range(spine):
+        for _ in range(legs_per_vertex):
+            leg = builder.add_vertex()
+            builder.add_edge(s, leg)
+    return builder.build()
+
+
+def disjoint_cliques(count: int, size: int) -> Graph:
+    """``count`` disjoint copies of ``K_size`` (Remark 9 workload).
+
+    Remark 9: with ``count = size = sqrt(n)`` the 2-state process needs
+    Θ(log² n) rounds w.h.p. and in expectation.
+    """
+    if count < 0 or size < 0:
+        raise ValueError("count and size must be >= 0")
+    builder = GraphBuilder(count * size)
+    for c in range(count):
+        builder.add_clique(range(c * size, (c + 1) * size))
+    return builder.build()
+
+
+def disjoint_union(graphs: Sequence[Graph]) -> Graph:
+    """Disjoint union of the given graphs, relabelled consecutively."""
+    builder = GraphBuilder(0)
+    for g in graphs:
+        offset = builder.add_vertices(g.n).start
+        builder.add_edges((u + offset, v + offset) for u, v in g.edges())
+    return builder.build()
+
+
+def ring_of_cliques(count: int, size: int) -> Graph:
+    """``count`` cliques of ``size`` vertices linked in a ring.
+
+    Vertex 0 of clique i is joined to vertex 0 of clique (i+1) mod count.
+    Requires ``count >= 3`` and ``size >= 1``.
+    """
+    if count < 3:
+        raise ValueError("ring requires count >= 3")
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    builder = GraphBuilder(count * size)
+    for c in range(count):
+        builder.add_clique(range(c * size, (c + 1) * size))
+    for c in range(count):
+        builder.add_edge(c * size, ((c + 1) % count) * size)
+    return builder.build()
+
+
+def lollipop_graph(clique_size: int, path_length: int) -> Graph:
+    """``K_clique_size`` with a path of ``path_length`` extra vertices."""
+    if clique_size < 1:
+        raise ValueError("clique_size must be >= 1")
+    builder = GraphBuilder(clique_size)
+    builder.add_clique(range(clique_size))
+    prev = clique_size - 1
+    for _ in range(path_length):
+        v = builder.add_vertex()
+        builder.add_edge(prev, v)
+        prev = v
+    return builder.build()
+
+
+def barbell_graph(clique_size: int, path_length: int) -> Graph:
+    """Two ``K_clique_size`` cliques joined by a path of ``path_length``."""
+    if clique_size < 1:
+        raise ValueError("clique_size must be >= 1")
+    builder = GraphBuilder(2 * clique_size)
+    builder.add_clique(range(clique_size))
+    builder.add_clique(range(clique_size, 2 * clique_size))
+    prev = clique_size - 1
+    for _ in range(path_length):
+        v = builder.add_vertex()
+        builder.add_edge(prev, v)
+        prev = v
+    builder.add_edge(prev, clique_size)
+    return builder.build()
+
+
+def petersen_graph() -> Graph:
+    """The Petersen graph (10 vertices, 3-regular); handy for tests."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    spokes = [(i, 5 + i) for i in range(5)]
+    return Graph(10, outer + inner + spokes)

@@ -1,0 +1,368 @@
+"""Good-graph properties (Definition 17) and their checkers.
+
+The analysis of the 2-state and 3-color MIS processes on G(n, p) goes
+through a deterministic family of "(n, p)-good" graphs.  Lemma 18 shows a
+G(n, p) sample is good with probability 1 - O(n^-2).  Experiment E8
+empirically regenerates that claim with the checkers in this module.
+
+Properties P1-P4 quantify over exponentially many vertex subsets; the
+checkers enumerate exhaustively on tiny graphs and use calibrated random
+sampling otherwise (the sampling strategy is documented per property).
+P5 and P6 are checked exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.properties import diameter, is_connected, max_common_neighbors
+
+
+def _as_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+@dataclass
+class PropertyResult:
+    """Outcome of checking one good-graph property.
+
+    Attributes
+    ----------
+    name:
+        Property identifier, e.g. ``"P1"``.
+    holds:
+        ``False`` only if an explicit counterexample was found.  For the
+        sampled checkers, ``True`` means "no counterexample found among
+        the checked certificates".
+    exhaustive:
+        Whether the check covered all relevant subsets.
+    witness:
+        A counterexample description when ``holds`` is ``False``.
+    checked:
+        Number of subset certificates examined.
+    """
+
+    name: str
+    holds: bool
+    exhaustive: bool
+    witness: str | None = None
+    checked: int = 0
+
+
+@dataclass
+class GoodGraphReport:
+    """Aggregated result of checking properties P1-P6."""
+
+    n: int
+    p: float
+    results: dict[str, PropertyResult] = field(default_factory=dict)
+
+    @property
+    def all_hold(self) -> bool:
+        """Whether every checked property held."""
+        return all(r.holds for r in self.results.values())
+
+    def failed(self) -> list[str]:
+        """Names of properties with counterexamples."""
+        return [name for name, r in self.results.items() if not r.holds]
+
+    def summary(self) -> str:
+        """One line per property: name, verdict, coverage."""
+        lines = []
+        for name in sorted(self.results):
+            r = self.results[name]
+            mode = "exhaustive" if r.exhaustive else f"sampled({r.checked})"
+            verdict = "OK" if r.holds else f"FAIL ({r.witness})"
+            lines.append(f"{name}: {verdict} [{mode}]")
+        return "\n".join(lines)
+
+
+def _sample_subsets(
+    n: int,
+    sizes: list[int],
+    samples_per_size: int,
+    rng: np.random.Generator,
+) -> list[list[int]]:
+    """Random vertex subsets of the requested sizes (for sampled checks)."""
+    subsets = []
+    for size in sizes:
+        size = min(size, n)
+        if size <= 0:
+            continue
+        for _ in range(samples_per_size):
+            subsets.append(
+                sorted(rng.choice(n, size=size, replace=False).tolist())
+            )
+    return subsets
+
+
+def check_p1_induced_density(
+    graph: Graph,
+    p: float,
+    rng: np.random.Generator | int | None = None,
+    samples_per_size: int = 20,
+    exhaustive_limit: int = 12,
+) -> PropertyResult:
+    """P1: every induced subgraph G[S] has average degree
+    ``<= max(8 p |S|, 4 ln n)``.
+
+    Exhaustive over all subsets when ``n <= exhaustive_limit``; otherwise
+    samples subsets at geometrically spaced sizes.  Random subsets are the
+    high-entropy certificates for this property (the binomial tail bound
+    in Lemma 38 is driven by the number of subsets, so any fixed sample is
+    far from tight — the sampled check can only ever find gross
+    violations, which is the intended use).
+    """
+    n = graph.n
+    log_term = 4.0 * math.log(max(n, 2))
+
+    def violates(s: list[int]) -> bool:
+        if len(s) < 2:
+            return False
+        edges = graph.induced_edge_count(s)
+        avg_deg = 2.0 * edges / len(s)
+        return avg_deg > max(8.0 * p * len(s), log_term) + 1e-9
+
+    if n <= exhaustive_limit:
+        checked = 0
+        for size in range(2, n + 1):
+            for combo in itertools.combinations(range(n), size):
+                checked += 1
+                if violates(list(combo)):
+                    return PropertyResult(
+                        "P1", False, True, f"S={combo}", checked
+                    )
+        return PropertyResult("P1", True, True, None, checked)
+
+    gen = _as_rng(rng)
+    sizes = sorted(
+        {max(2, n // (2 ** k)) for k in range(0, int(math.log2(n)) + 1)}
+    )
+    subsets = _sample_subsets(n, sizes, samples_per_size, gen)
+    # Also check the full vertex set and each vertex's neighbourhood
+    # (structured certificates where density concentrates).
+    subsets.append(list(range(n)))
+    deg = graph.degrees()
+    for u in np.argsort(deg)[-10:]:
+        nb = list(graph.neighbors(int(u)))
+        if len(nb) >= 2:
+            subsets.append(nb)
+    for s in subsets:
+        if violates(s):
+            return PropertyResult(
+                "P1", False, False, f"|S|={len(s)}", len(subsets)
+            )
+    return PropertyResult("P1", True, False, None, len(subsets))
+
+
+def check_p2_dominating_degree(
+    graph: Graph,
+    p: float,
+    rng: np.random.Generator | int | None = None,
+    samples: int = 50,
+) -> PropertyResult:
+    """P2: for every S with ``|S| >= 40 ln(n)/p``, at most ``|S|/2``
+    outside vertices have fewer than ``p|S|/2`` neighbours in S.
+
+    Sampled check over random subsets at the threshold size and a few
+    larger sizes (the threshold size is where the Chernoff bound of
+    Lemma 39 is tightest, i.e. where violations would appear first).
+    """
+    n = graph.n
+    if p <= 0.0:
+        return PropertyResult("P2", True, True, None, 0)
+    threshold = 40.0 * math.log(max(n, 2)) / p
+    if threshold > n:
+        # No subset is large enough; property holds vacuously.
+        return PropertyResult("P2", True, True, None, 0)
+    gen = _as_rng(rng)
+    base = int(math.ceil(threshold))
+    sizes = sorted({min(n, s) for s in (base, 2 * base, 4 * base, n)})
+    checked = 0
+    a = graph.adjacency_csr()
+    for size in sizes:
+        for _ in range(max(1, samples // len(sizes))):
+            s = gen.choice(n, size=size, replace=False)
+            mask = np.zeros(n, dtype=np.int8)
+            mask[s] = 1
+            counts = a.dot(mask)
+            outside = np.ones(n, dtype=bool)
+            outside[s] = False
+            weak = np.count_nonzero(
+                outside & (counts < p * size / 2.0)
+            )
+            checked += 1
+            if weak > size / 2.0:
+                return PropertyResult(
+                    "P2", False, False,
+                    f"|S|={size}, weak={weak}", checked,
+                )
+    return PropertyResult("P2", True, False, None, checked)
+
+
+def check_p3_neighborhood_growth(
+    graph: Graph,
+    p: float,
+    rng: np.random.Generator | int | None = None,
+    samples: int = 40,
+) -> PropertyResult:
+    """P3: for disjoint S, T, I with ``|S| >= 2|T|`` and
+    ``(S ∪ T) ∩ N(I) = ∅``:
+    ``|N(T) \\ N+(S ∪ I)| <= |N(S) \\ N+(I)| + 8 ln²(n)/p``.
+
+    Sampled check: draw random independent-ish I, then random disjoint
+    S, T away from N(I) with the required size ratio.  (Lemma 41's union
+    bound covers n^{O(ln n / p)} triplets, so sampling again only detects
+    gross violations — the empirically interesting quantity, reported by
+    experiment E8, is the margin distribution.)
+    """
+    n = graph.n
+    if p <= 0.0:
+        return PropertyResult("P3", True, True, None, 0)
+    gen = _as_rng(rng)
+    slack = 8.0 * math.log(max(n, 2)) ** 2 / p
+    checked = 0
+    for _ in range(samples):
+        i_size = gen.integers(0, max(1, n // 8) + 1)
+        i_set = set(
+            gen.choice(n, size=int(i_size), replace=False).tolist()
+        ) if i_size else set()
+        blocked = graph.closed_neighborhood_of_set(i_set) if i_set else set()
+        free = [v for v in range(n) if v not in blocked]
+        if len(free) < 3:
+            continue
+        t_size = gen.integers(1, max(2, len(free) // 3))
+        t_size = int(min(t_size, len(free) // 3))
+        if t_size < 1:
+            continue
+        perm = gen.permutation(len(free))
+        t_set = {free[j] for j in perm[:t_size]}
+        s_set = {free[j] for j in perm[t_size:t_size + 2 * t_size]}
+        if len(s_set) < 2 * len(t_set):
+            continue
+        checked += 1
+        n_t = graph.neighborhood_of_set(t_set)
+        n_s = graph.neighborhood_of_set(s_set)
+        n_plus_si = graph.closed_neighborhood_of_set(s_set | i_set)
+        n_plus_i = graph.closed_neighborhood_of_set(i_set) if i_set else set()
+        lhs = len(n_t - n_plus_si)
+        rhs = len(n_s - n_plus_i) + slack
+        if lhs > rhs + 1e-9:
+            return PropertyResult(
+                "P3", False, False,
+                f"|S|={len(s_set)},|T|={len(t_set)},|I|={len(i_set)}",
+                checked,
+            )
+    return PropertyResult("P3", True, False, None, checked)
+
+
+def check_p4_cut_edges(
+    graph: Graph,
+    p: float,
+    rng: np.random.Generator | int | None = None,
+    samples: int = 60,
+) -> PropertyResult:
+    """P4: for disjoint S, T with ``|S| >= |T|`` and ``|T| <= ln(n)/p``:
+    ``|E(S, T)| <= 6 |S| ln n``.
+
+    Sampled, plus the structured certificate where T is the highest-degree
+    eligible vertices and S is everything else (the configuration that
+    maximizes |E(S, T)| for fixed sizes in practice).
+    """
+    n = graph.n
+    if p <= 0.0:
+        return PropertyResult("P4", True, True, None, 0)
+    log_n = math.log(max(n, 2))
+    t_cap = max(1, int(log_n / p))
+    gen = _as_rng(rng)
+    checked = 0
+
+    def violates(s_set: set[int], t_set: set[int]) -> bool:
+        if not t_set or len(s_set) < len(t_set):
+            return False
+        return graph.edges_between(s_set, t_set) > 6.0 * len(s_set) * log_n
+
+    # Structured certificate: top-degree T vs the rest.
+    deg = graph.degrees()
+    order = np.argsort(deg)[::-1]
+    for t_size in {1, min(t_cap, n // 2), min(t_cap, max(1, n // 4))}:
+        if t_size < 1:
+            continue
+        t_set = set(int(v) for v in order[:t_size])
+        s_set = set(range(n)) - t_set
+        checked += 1
+        if violates(s_set, t_set):
+            return PropertyResult(
+                "P4", False, False, f"top-degree |T|={t_size}", checked
+            )
+    for _ in range(samples):
+        t_size = int(gen.integers(1, min(t_cap, max(2, n // 2)) + 1))
+        perm = gen.permutation(n)
+        t_set = set(int(v) for v in perm[:t_size])
+        s_size = int(gen.integers(t_size, n - t_size + 1))
+        s_set = set(int(v) for v in perm[t_size:t_size + s_size])
+        checked += 1
+        if violates(s_set, t_set):
+            return PropertyResult(
+                "P4", False, False,
+                f"|S|={len(s_set)},|T|={len(t_set)}", checked,
+            )
+    return PropertyResult("P4", True, False, None, checked)
+
+
+def check_p5_common_neighbors(graph: Graph, p: float) -> PropertyResult:
+    """P5 (exact): no two vertices have more than
+    ``max(6 n p², 4 ln n)`` common neighbours."""
+    n = graph.n
+    bound = max(6.0 * n * p * p, 4.0 * math.log(max(n, 2)))
+    worst = max_common_neighbors(graph)
+    holds = worst <= bound + 1e-9
+    witness = None if holds else f"max common nbrs {worst} > {bound:.2f}"
+    return PropertyResult("P5", holds, True, witness, n * (n - 1) // 2)
+
+
+def check_p6_diameter(graph: Graph, p: float) -> PropertyResult:
+    """P6 (exact): if ``p >= 2 sqrt(ln n / n)`` then ``diam(G) <= 2``."""
+    n = graph.n
+    if n < 2:
+        return PropertyResult("P6", True, True, None, 0)
+    threshold = 2.0 * math.sqrt(math.log(n) / n)
+    if p < threshold:
+        return PropertyResult("P6", True, True, None, 0)
+    if not is_connected(graph):
+        return PropertyResult("P6", False, True, "disconnected", 1)
+    d = diameter(graph)
+    holds = d <= 2
+    witness = None if holds else f"diameter {d} > 2"
+    return PropertyResult("P6", holds, True, witness, 1)
+
+
+def check_good_graph(
+    graph: Graph,
+    p: float,
+    rng: np.random.Generator | int | None = None,
+    samples: int = 40,
+) -> GoodGraphReport:
+    """Check all of P1-P6 and return a :class:`GoodGraphReport`.
+
+    ``p`` is the G(n, p) parameter the graph is being tested against
+    (Definition 17 is parameterized by both n and p).
+    """
+    gen = _as_rng(rng)
+    report = GoodGraphReport(n=graph.n, p=p)
+    report.results["P1"] = check_p1_induced_density(
+        graph, p, gen, samples_per_size=max(5, samples // 8)
+    )
+    report.results["P2"] = check_p2_dominating_degree(graph, p, gen, samples)
+    report.results["P3"] = check_p3_neighborhood_growth(graph, p, gen, samples)
+    report.results["P4"] = check_p4_cut_edges(graph, p, gen, samples)
+    report.results["P5"] = check_p5_common_neighbors(graph, p)
+    report.results["P6"] = check_p6_diameter(graph, p)
+    return report

@@ -1,0 +1,466 @@
+"""Immutable graph data structure used throughout the reproduction.
+
+The paper's processes operate on arbitrary finite simple undirected graphs
+``G = (V, E)`` with ``V = {0, ..., n-1}``.  :class:`Graph` stores the
+adjacency structure as a tuple of sorted integer tuples, which makes
+instances hashable-in-spirit (immutable), cheap to share between processes,
+and convenient to convert to the numpy/scipy representations used by the
+vectorized engines.
+
+Use :class:`GraphBuilder` (or the classmethod constructors) to construct
+graphs; :class:`Graph` itself performs full validation on construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+class Graph:
+    """A finite simple undirected graph on vertex set ``{0, ..., n-1}``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.  Must be non-negative.
+    edges:
+        Iterable of ``(u, v)`` pairs with ``0 <= u, v < n`` and ``u != v``.
+        Duplicate edges (in either orientation) are collapsed.
+
+    Notes
+    -----
+    The instance is immutable: all mutating operations return new graphs.
+    Adjacency lists are exposed as sorted tuples via :meth:`neighbors`.
+    """
+
+    __slots__ = ("_n", "_adj", "_m", "_adj_sets", "_csr", "_dense")
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()) -> None:
+        if n < 0:
+            raise ValueError(f"number of vertices must be >= 0, got {n}")
+        self._n = int(n)
+        adj: list[set[int]] = [set() for _ in range(self._n)]
+        for u, v in edges:
+            u = int(u)
+            v = int(v)
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise ValueError(
+                    f"edge ({u}, {v}) out of range for n={self._n}"
+                )
+            if u == v:
+                raise ValueError(f"self-loop ({u}, {u}) is not allowed")
+            adj[u].add(v)
+            adj[v].add(u)
+        self._adj_sets = adj
+        self._adj: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(s)) for s in adj
+        )
+        self._m = sum(len(s) for s in adj) // 2
+        self._csr = None
+        self._dense = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._m
+
+    def vertices(self) -> range:
+        """The vertex set as a :class:`range`."""
+        return range(self._n)
+
+    def neighbors(self, u: int) -> tuple[int, ...]:
+        """Sorted tuple of neighbors of ``u`` (the set ``N(u)``)."""
+        return self._adj[u]
+
+    def closed_neighborhood(self, u: int) -> tuple[int, ...]:
+        """Sorted tuple of ``N+(u) = N(u) ∪ {u}``."""
+        return tuple(sorted(self._adj_sets[u] | {u}))
+
+    def degree(self, u: int) -> int:
+        """Degree of vertex ``u``."""
+        return len(self._adj[u])
+
+    def degrees(self) -> np.ndarray:
+        """Degree sequence as an ``int64`` array indexed by vertex."""
+        return np.array([len(a) for a in self._adj], dtype=np.int64)
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ (0 for the empty graph)."""
+        if self._n == 0:
+            return 0
+        return max(len(a) for a in self._adj)
+
+    def average_degree(self) -> float:
+        """Average degree ``2m / n`` (0.0 for the empty graph)."""
+        if self._n == 0:
+            return 0.0
+        return 2.0 * self._m / self._n
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge."""
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            return False
+        return v in self._adj_sets[u]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over edges as ``(u, v)`` with ``u < v``."""
+        for u in range(self._n):
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def edge_list(self) -> list[tuple[int, int]]:
+        """All edges as a list of ``(u, v)`` pairs with ``u < v``."""
+        return list(self.edges())
+
+    def common_neighbors(self, u: int, v: int) -> tuple[int, ...]:
+        """Sorted tuple of vertices adjacent to both ``u`` and ``v``."""
+        return tuple(sorted(self._adj_sets[u] & self._adj_sets[v]))
+
+    # ------------------------------------------------------------------
+    # Set-valued neighborhood helpers (paper notation, §"Notation")
+    # ------------------------------------------------------------------
+    def neighborhood_of_set(self, s: Iterable[int]) -> set[int]:
+        """``N(S)``: vertices outside ``S`` adjacent to some vertex of ``S``."""
+        s_set = set(s)
+        out: set[int] = set()
+        for u in s_set:
+            out |= self._adj_sets[u]
+        return out - s_set
+
+    def closed_neighborhood_of_set(self, s: Iterable[int]) -> set[int]:
+        """``N+(S) = N(S) ∪ S``."""
+        s_set = set(s)
+        out = set(s_set)
+        for u in s_set:
+            out |= self._adj_sets[u]
+        return out
+
+    def edges_between(self, s: Iterable[int], t: Iterable[int]) -> int:
+        """``|E(S, T)|``: edges with one endpoint in ``S``, the other in ``T``.
+
+        Edges with both endpoints in ``S ∩ T`` are counted once, matching
+        the paper's set-of-edges definition ``E(S, T)``.
+        """
+        s_set = set(s)
+        t_set = set(t)
+        seen: set[tuple[int, int]] = set()
+        for u in s_set:
+            for v in self._adj_sets[u]:
+                if v in t_set:
+                    seen.add((min(u, v), max(u, v)))
+        return len(seen)
+
+    def induced_edge_count(self, s: Iterable[int]) -> int:
+        """``|E(S)|``: number of edges with both endpoints in ``S``."""
+        s_set = set(s)
+        count = 0
+        for u in s_set:
+            for v in self._adj_sets[u]:
+                if v in s_set and u < v:
+                    count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, s: Sequence[int]) -> tuple["Graph", dict[int, int]]:
+        """Induced subgraph ``G[S]``.
+
+        Returns
+        -------
+        (graph, mapping):
+            ``graph`` is the induced subgraph with vertices relabelled to
+            ``0..|S|-1`` in the order of the (deduplicated, sorted) input;
+            ``mapping`` maps original labels to new labels.
+        """
+        s_sorted = sorted(set(s))
+        mapping = {orig: i for i, orig in enumerate(s_sorted)}
+        edges = []
+        s_set = set(s_sorted)
+        for u in s_sorted:
+            for v in self._adj_sets[u]:
+                if v in s_set and u < v:
+                    edges.append((mapping[u], mapping[v]))
+        return Graph(len(s_sorted), edges), mapping
+
+    def complement(self) -> "Graph":
+        """The complement graph (no self-loops)."""
+        edges = [
+            (u, v)
+            for u in range(self._n)
+            for v in range(u + 1, self._n)
+            if v not in self._adj_sets[u]
+        ]
+        return Graph(self._n, edges)
+
+    def with_edges_added(self, new_edges: Iterable[tuple[int, int]]) -> "Graph":
+        """A new graph with ``new_edges`` added."""
+        return Graph(self._n, list(self.edges()) + list(new_edges))
+
+    def relabeled(self, perm: Sequence[int]) -> "Graph":
+        """Graph with vertex ``u`` renamed to ``perm[u]``.
+
+        ``perm`` must be a permutation of ``0..n-1``.
+        """
+        if sorted(perm) != list(range(self._n)):
+            raise ValueError("perm must be a permutation of range(n)")
+        return Graph(self._n, [(perm[u], perm[v]) for u, v in self.edges()])
+
+    # ------------------------------------------------------------------
+    # Matrix / external representations
+    # ------------------------------------------------------------------
+    def adjacency_csr(self):
+        """Adjacency matrix as a cached ``scipy.sparse.csr_matrix`` of int8."""
+        if self._csr is None:
+            from scipy import sparse
+
+            rows = []
+            cols = []
+            for u in range(self._n):
+                for v in self._adj[u]:
+                    rows.append(u)
+                    cols.append(v)
+            data = np.ones(len(rows), dtype=np.int8)
+            self._csr = sparse.csr_matrix(
+                (data, (rows, cols)), shape=(self._n, self._n)
+            )
+        return self._csr
+
+    def adjacency_dense(self) -> np.ndarray:
+        """Adjacency matrix as a cached dense int8 numpy array."""
+        if self._dense is None:
+            a = np.zeros((self._n, self._n), dtype=np.int8)
+            for u in range(self._n):
+                nbrs = self._adj[u]
+                if nbrs:
+                    a[u, list(nbrs)] = 1
+            self._dense = a
+        return self._dense
+
+    def density(self) -> float:
+        """Edge density ``m / C(n, 2)`` (0.0 when n < 2)."""
+        if self._n < 2:
+            return 0.0
+        return self._m / (self._n * (self._n - 1) / 2)
+
+    @classmethod
+    def from_edge_list(
+        cls, edges: Iterable[tuple[int, int]], n: int | None = None
+    ) -> "Graph":
+        """Build a graph from an edge list, inferring ``n`` if omitted."""
+        edge_list = [(int(u), int(v)) for u, v in edges]
+        if n is None:
+            n = 1 + max((max(u, v) for u, v in edge_list), default=-1)
+        return cls(n, edge_list)
+
+    @classmethod
+    def from_numpy_edges(
+        cls, n: int, us: np.ndarray, vs: np.ndarray
+    ) -> "Graph":
+        """Vectorized constructor from parallel endpoint arrays.
+
+        Semantically identical to ``Graph(n, zip(us, vs))`` but builds
+        the adjacency structure with numpy sorting instead of per-edge
+        Python work — the difference between seconds and milliseconds
+        for million-edge G(n, p) samples.
+        """
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if us.shape != vs.shape or us.ndim != 1:
+            raise ValueError("us and vs must be equal-length 1-d arrays")
+        if us.size:
+            if us.min() < 0 or vs.min() < 0 or max(us.max(), vs.max()) >= n:
+                raise ValueError("edge endpoint out of range")
+            if np.any(us == vs):
+                raise ValueError("self-loops are not allowed")
+        graph = cls.__new__(cls)
+        graph._n = int(n)
+        graph._csr = None
+        graph._dense = None
+        lo = np.minimum(us, vs)
+        hi = np.maximum(us, vs)
+        keys = lo * n + hi
+        unique = np.unique(keys)
+        lo = (unique // n).astype(np.int64)
+        hi = (unique % n).astype(np.int64)
+        # Both directions, grouped by source via argsort.
+        src = np.concatenate([lo, hi])
+        dst = np.concatenate([hi, lo])
+        order = np.argsort(src, kind="stable")
+        src = src[order]
+        dst = dst[order]
+        starts = np.searchsorted(src, np.arange(n + 1))
+        adj_tuples = []
+        adj_sets = []
+        for u in range(n):
+            nbrs = np.sort(dst[starts[u]:starts[u + 1]])
+            tup = tuple(int(x) for x in nbrs)
+            adj_tuples.append(tup)
+            adj_sets.append(set(tup))
+        graph._adj = tuple(adj_tuples)
+        graph._adj_sets = adj_sets
+        graph._m = int(unique.size)
+        return graph
+
+    @classmethod
+    def from_adjacency(cls, adj: Sequence[Iterable[int]]) -> "Graph":
+        """Build a graph from an adjacency-list representation."""
+        edges = []
+        for u, nbrs in enumerate(adj):
+            for v in nbrs:
+                if u < v:
+                    edges.append((u, v))
+                elif v < u and u not in set(adj[v]):
+                    raise ValueError(
+                        f"asymmetric adjacency: {v} lists {u}? missing"
+                    )
+        return cls(len(adj), edges)
+
+    def to_networkx(self):
+        """Convert to a ``networkx.Graph`` (requires networkx installed)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self._n))
+        g.add_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, g) -> "Graph":
+        """Build from a ``networkx.Graph`` with integer-convertible labels."""
+        nodes = sorted(g.nodes())
+        mapping = {node: i for i, node in enumerate(nodes)}
+        edges = [(mapping[u], mapping[v]) for u, v in g.edges()]
+        return cls(len(nodes), edges)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def bfs_distances(self, source: int) -> np.ndarray:
+        """Single-source BFS distances; unreachable vertices get -1."""
+        if not (0 <= source < self._n):
+            raise ValueError(f"source {source} out of range")
+        dist = np.full(self._n, -1, dtype=np.int64)
+        dist[source] = 0
+        frontier = [source]
+        d = 0
+        while frontier:
+            d += 1
+            next_frontier = []
+            for u in frontier:
+                for v in self._adj[u]:
+                    if dist[v] < 0:
+                        dist[v] = d
+                        next_frontier.append(v)
+            frontier = next_frontier
+        return dist
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._adj == other._adj
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._adj))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self._m})"
+
+    def __len__(self) -> int:
+        return self._n
+
+
+class GraphBuilder:
+    """Mutable accumulator for constructing a :class:`Graph`.
+
+    Examples
+    --------
+    >>> b = GraphBuilder(3)
+    >>> b.add_edge(0, 1).add_edge(1, 2)  # doctest: +ELLIPSIS
+    <repro.graphs.graph.GraphBuilder object at ...>
+    >>> b.build().m
+    2
+    """
+
+    def __init__(self, n: int = 0) -> None:
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        self._n = int(n)
+        self._edges: list[tuple[int, int]] = []
+
+    @property
+    def n(self) -> int:
+        """Current number of vertices."""
+        return self._n
+
+    def add_vertex(self) -> int:
+        """Add one vertex; returns its index."""
+        self._n += 1
+        return self._n - 1
+
+    def add_vertices(self, count: int) -> range:
+        """Add ``count`` vertices; returns the range of new indices."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        start = self._n
+        self._n += count
+        return range(start, self._n)
+
+    def add_edge(self, u: int, v: int) -> "GraphBuilder":
+        """Add edge ``{u, v}``; vertices must already exist."""
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise ValueError(f"edge ({u}, {v}) out of range for n={self._n}")
+        if u == v:
+            raise ValueError("self-loops are not allowed")
+        self._edges.append((u, v))
+        return self
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> "GraphBuilder":
+        """Add many edges."""
+        for u, v in edges:
+            self.add_edge(u, v)
+        return self
+
+    def add_clique(self, vertices: Sequence[int]) -> "GraphBuilder":
+        """Add all edges among ``vertices``."""
+        vs = list(vertices)
+        for i, u in enumerate(vs):
+            for v in vs[i + 1:]:
+                self.add_edge(u, v)
+        return self
+
+    def add_path(self, vertices: Sequence[int]) -> "GraphBuilder":
+        """Add a path through ``vertices`` in order."""
+        vs = list(vertices)
+        for u, v in zip(vs, vs[1:]):
+            self.add_edge(u, v)
+        return self
+
+    def add_cycle(self, vertices: Sequence[int]) -> "GraphBuilder":
+        """Add a cycle through ``vertices`` in order."""
+        vs = list(vertices)
+        if len(vs) < 3:
+            raise ValueError("a cycle needs at least 3 vertices")
+        self.add_path(vs)
+        self.add_edge(vs[-1], vs[0])
+        return self
+
+    def build(self) -> Graph:
+        """Materialize the accumulated graph."""
+        return Graph(self._n, self._edges)

@@ -1,0 +1,260 @@
+"""Random graph models.
+
+The central workload of the paper's analysis is the Erdős–Rényi model
+``G(n, p)`` (Theorems 2, 3, 19, 32).  We also provide random trees (for
+Theorem 11), random regular graphs (for Theorem 12's Δ-sweeps), random
+bipartite graphs and a planted-partition model for additional coverage.
+
+All generators take a ``numpy.random.Generator`` (or an integer seed) so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph, GraphBuilder
+
+
+def _as_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Coerce seeds or generators to a ``numpy.random.Generator``."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def gnp_random_graph(
+    n: int, p: float, rng: np.random.Generator | int | None = None
+) -> Graph:
+    """Erdős–Rényi random graph ``G(n, p)``.
+
+    Each of the ``C(n, 2)`` possible edges is present independently with
+    probability ``p``.  Uses geometric skipping, so the cost is
+    ``O(n + m)`` rather than ``O(n^2)`` for sparse graphs.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    gen = _as_rng(rng)
+    if p == 0.0 or n < 2:
+        return Graph(n)
+    if p == 1.0:
+        return Graph(n, [(u, v) for u in range(n) for v in range(u + 1, n)])
+
+    # Dense fast path: materialize the whole upper triangle with one
+    # vectorized Bernoulli draw (O(n²) memory but no Python loop) when
+    # the expected edge count would make geometric skipping's per-edge
+    # Python iteration the bottleneck.
+    expected_edges = p * n * (n - 1) / 2.0
+    if expected_edges > 50_000 and n <= 6000:
+        iu, ju = np.triu_indices(n, k=1)
+        mask = gen.random(iu.size) < p
+        return Graph.from_numpy_edges(n, iu[mask], ju[mask])
+
+    # Geometric skipping over the linearized strict upper triangle
+    # (Batagelj & Brandes 2005), assembled via the vectorized
+    # constructor (Python loops over millions of edges would dominate
+    # the dense experiments otherwise).
+    us: list[int] = []
+    vs: list[int] = []
+    log_q = np.log1p(-p)
+    v = 1
+    w = -1
+    while v < n:
+        r = gen.random()
+        w = w + 1 + int(np.floor(np.log1p(-r) / log_q))
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            us.append(w)
+            vs.append(v)
+    return Graph.from_numpy_edges(
+        n, np.array(us, dtype=np.int64), np.array(vs, dtype=np.int64)
+    )
+
+
+def gnm_random_graph(
+    n: int, m: int, rng: np.random.Generator | int | None = None
+) -> Graph:
+    """Uniform random graph with exactly ``m`` edges."""
+    max_m = n * (n - 1) // 2
+    if not 0 <= m <= max_m:
+        raise ValueError(f"m must be in [0, {max_m}], got {m}")
+    gen = _as_rng(rng)
+    # Sample m distinct positions in the strict upper triangle.
+    chosen = gen.choice(max_m, size=m, replace=False)
+    edges = []
+    for idx in chosen:
+        # invert the linear index: row v, column w with w < v.
+        v = int((1 + np.sqrt(1 + 8 * idx)) // 2)
+        w = int(idx - v * (v - 1) // 2)
+        edges.append((w, v))
+    return Graph(n, edges)
+
+
+def random_tree(n: int, rng: np.random.Generator | int | None = None) -> Graph:
+    """Uniform random labelled tree on ``n`` vertices (Prüfer sequence).
+
+    Trees have arboricity 1, so this is the canonical Theorem 11 workload.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if n <= 1:
+        return Graph(n)
+    if n == 2:
+        return Graph(2, [(0, 1)])
+    gen = _as_rng(rng)
+    prufer = gen.integers(0, n, size=n - 2)
+    degree = np.ones(n, dtype=np.int64)
+    for x in prufer:
+        degree[x] += 1
+    edges = []
+    # Min-leaf extraction via a pointer scan (classic O(n) decode).
+    import heapq
+
+    leaves = [i for i in range(n) if degree[i] == 1]
+    heapq.heapify(leaves)
+    for x in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, int(x)))
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, int(x))
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+    return Graph(n, edges)
+
+
+def random_regular_graph(
+    n: int,
+    d: int,
+    rng: np.random.Generator | int | None = None,
+    max_attempts: int = 100,
+) -> Graph:
+    """Random ``d``-regular graph via the configuration model.
+
+    Pairs up ``n*d`` half-edges uniformly at random, then repairs loops
+    and multi-edges by random double-edge swaps (the standard practical
+    fix; the resulting distribution is not exactly uniform over simple
+    d-regular graphs but is contiguous with it for ``d = O(sqrt(n))``,
+    which is all the Theorem 12 experiments need).
+
+    Raises
+    ------
+    ValueError
+        If ``n*d`` is odd or ``d >= n``.
+    RuntimeError
+        If the repair loop fails to converge (practically impossible for
+        ``d <= n/4``).
+    """
+    if d < 0 or n < 0:
+        raise ValueError("n and d must be >= 0")
+    if d >= n and not (n == 0 and d == 0):
+        raise ValueError(f"need d < n, got d={d}, n={n}")
+    if (n * d) % 2 != 0:
+        raise ValueError("n * d must be even")
+    if d == 0:
+        return Graph(n)
+    gen = _as_rng(rng)
+    stubs = np.repeat(np.arange(n), d)
+    gen.shuffle(stubs)
+    pairs = [
+        (int(stubs[2 * i]), int(stubs[2 * i + 1]))
+        for i in range(len(stubs) // 2)
+    ]
+
+    def edge_key(u: int, v: int) -> tuple[int, int]:
+        return (u, v) if u < v else (v, u)
+
+    seen: dict[tuple[int, int], int] = {}
+    bad: set[int] = set()
+    for idx, (u, v) in enumerate(pairs):
+        if u == v:
+            bad.add(idx)
+            continue
+        key = edge_key(u, v)
+        if key in seen:
+            bad.add(idx)
+        else:
+            seen[key] = idx
+
+    num_pairs = len(pairs)
+    for _ in range(max_attempts * max(num_pairs, 1)):
+        if not bad:
+            break
+        i = next(iter(bad))
+        j = int(gen.integers(0, num_pairs))
+        if i == j:
+            continue
+        u1, v1 = pairs[i]
+        u2, v2 = pairs[j]
+        # Swap the second endpoints: (u1, v2), (u2, v1).
+        new_i, new_j = (u1, v2), (u2, v1)
+        for idx in (i, j):
+            u, v = pairs[idx]
+            if u != v and seen.get(edge_key(u, v)) == idx:
+                del seen[edge_key(u, v)]
+            bad.discard(idx)
+        pairs[i], pairs[j] = new_i, new_j
+        for idx in (i, j):
+            u, v = pairs[idx]
+            if u == v:
+                bad.add(idx)
+                continue
+            key = edge_key(u, v)
+            if key in seen and seen[key] != idx:
+                bad.add(idx)
+            else:
+                seen[key] = idx
+    if bad:
+        raise RuntimeError(
+            f"failed to repair a simple {d}-regular pairing on {n} vertices"
+        )
+    return Graph(n, pairs)
+
+
+def random_bipartite_graph(
+    a: int, b: int, p: float, rng: np.random.Generator | int | None = None
+) -> Graph:
+    """Bipartite G(a, b, p): each cross edge present with probability p."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    gen = _as_rng(rng)
+    mask = gen.random((a, b)) < p
+    rows, cols = np.nonzero(mask)
+    edges = [(int(r), a + int(c)) for r, c in zip(rows, cols)]
+    return Graph(a + b, edges)
+
+
+def planted_partition_graph(
+    sizes: list[int],
+    p_in: float,
+    p_out: float,
+    rng: np.random.Generator | int | None = None,
+) -> Graph:
+    """Planted-partition (stochastic block) model.
+
+    Vertices are split into blocks of the given ``sizes``; two vertices in
+    the same block are adjacent with probability ``p_in``, in different
+    blocks with probability ``p_out``.
+    """
+    for prob in (p_in, p_out):
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError("probabilities must be in [0, 1]")
+    gen = _as_rng(rng)
+    n = sum(sizes)
+    block = np.empty(n, dtype=np.int64)
+    start = 0
+    for b_idx, size in enumerate(sizes):
+        block[start:start + size] = b_idx
+        start += size
+    builder = GraphBuilder(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            prob = p_in if block[u] == block[v] else p_out
+            if prob > 0.0 and gen.random() < prob:
+                builder.add_edge(u, v)
+    return builder.build()

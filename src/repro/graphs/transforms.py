@@ -1,0 +1,85 @@
+"""Graph transformations used by the MIS-based reductions.
+
+The paper's intro places MIS at the heart of distributed symmetry
+breaking [24]; the two classic reductions both go through a transformed
+graph whose MIS *is* the target object:
+
+* :func:`line_graph` — maximal matching of G = MIS of L(G);
+* :func:`color_product_graph` — proper (Δ+1)-coloring of G = MIS of
+  the product of G with a (Δ+1)-palette clique (Luby's reduction).
+
+Both transforms return the derived graph together with the mapping
+needed to interpret its vertices.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph, GraphBuilder
+
+
+def line_graph(graph: Graph) -> tuple[Graph, list[tuple[int, int]]]:
+    """The line graph L(G).
+
+    Returns
+    -------
+    (lg, edge_of_vertex):
+        ``lg`` has one vertex per edge of G; two are adjacent iff the
+        edges share an endpoint.  ``edge_of_vertex[i]`` is the original
+        edge of L(G)'s vertex i.
+
+    An independent set of L(G) is a matching of G; a *maximal*
+    independent set is a maximal matching.
+    """
+    edges = graph.edge_list()
+    index_of = {e: i for i, e in enumerate(edges)}
+    builder = GraphBuilder(len(edges))
+    # Group edges by endpoint; connect all pairs within a group.
+    incident: dict[int, list[int]] = {}
+    for i, (u, v) in enumerate(edges):
+        incident.setdefault(u, []).append(i)
+        incident.setdefault(v, []).append(i)
+    seen: set[tuple[int, int]] = set()
+    for group in incident.values():
+        for a_pos, i in enumerate(group):
+            for j in group[a_pos + 1:]:
+                key = (min(i, j), max(i, j))
+                if key not in seen:
+                    seen.add(key)
+                    builder.add_edge(i, j)
+    return builder.build(), edges
+
+
+def color_product_graph(
+    graph: Graph, colors: int | None = None
+) -> tuple[Graph, int]:
+    """Luby's coloring reduction: G × K_palette.
+
+    Vertices are pairs ``(v, c)`` for ``c in 0..palette-1``, flattened
+    as ``v * palette + c``.  Edges:
+
+    * ``(v, c) ~ (v, c')`` for ``c != c'`` — v picks at most one color;
+    * ``(v, c) ~ (u, c)`` for ``(u, v) ∈ E`` — neighbours can't share.
+
+    With ``palette >= Δ + 1``, every MIS of the product assigns
+    *exactly* one color to every vertex and that assignment is a proper
+    coloring (see :func:`repro.apps.coloring.coloring_from_mis`).
+
+    Returns
+    -------
+    (product, palette):
+        The product graph and the palette size used (default Δ+1).
+    """
+    palette = colors if colors is not None else graph.max_degree() + 1
+    if palette < 1:
+        raise ValueError("palette must have at least one color")
+    builder = GraphBuilder(graph.n * palette)
+
+    def vid(v: int, c: int) -> int:
+        return v * palette + c
+
+    for v in graph.vertices():
+        builder.add_clique([vid(v, c) for c in range(palette)])
+    for u, v in graph.edges():
+        for c in range(palette):
+            builder.add_edge(vid(u, c), vid(v, c))
+    return builder.build(), palette

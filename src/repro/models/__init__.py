@@ -1,0 +1,45 @@
+"""Communication models and adversaries.
+
+The paper's algorithms are designed for severely restricted models:
+
+* :mod:`repro.models.beeping` — the beeping model with sender collision
+  detection (full-duplex); hosts the 2-state MIS process as an actual
+  beeping protocol (§1).
+* :mod:`repro.models.stone_age` — the synchronous stone age model
+  (constant-alphabet multi-channel beeps, no collision detection);
+  hosts the 3-state MIS process (§1).
+* :mod:`repro.models.faults` — transient-fault adversaries for the
+  self-stabilization experiments (E11).
+"""
+
+from repro.models.beeping import (
+    BeepingNetwork,
+    BeepingTwoStateMIS,
+    TwoStateBeepNode,
+)
+from repro.models.stone_age import (
+    StoneAgeNetwork,
+    StoneAgeThreeStateMIS,
+    ThreeStateStoneAgeNode,
+)
+from repro.models.faults import (
+    FaultEvent,
+    RandomCorruption,
+    TargetedCorruption,
+    MISFlipCorruption,
+    FaultInjectionCampaign,
+)
+
+__all__ = [
+    "BeepingNetwork",
+    "BeepingTwoStateMIS",
+    "TwoStateBeepNode",
+    "StoneAgeNetwork",
+    "StoneAgeThreeStateMIS",
+    "ThreeStateStoneAgeNode",
+    "FaultEvent",
+    "RandomCorruption",
+    "TargetedCorruption",
+    "MISFlipCorruption",
+    "FaultInjectionCampaign",
+]

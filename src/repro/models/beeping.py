@@ -1,0 +1,195 @@
+"""The beeping model with sender collision detection, and the 2-state MIS
+process as a beeping protocol (§1).
+
+Model semantics (Cornejo-Kuhn [9]; full-duplex variant [1, 16]): in each
+synchronous round every node either BEEPs or LISTENs.
+
+* A listening node observes one bit: whether at least one neighbour
+  beeped (it cannot count beepers or identify them).
+* A beeping node with *sender collision detection* also observes one
+  bit: whether at least one neighbour beeped concurrently.
+
+Protocol (the paper's translation of Definition 4): black nodes beep
+every round, white nodes listen.
+
+* A black node that detects a collision knows it has a black neighbour →
+  active → new state = coin.
+* A white node that hears silence knows it has no black neighbour →
+  active → new state = coin.
+* All other nodes keep their state.
+
+Each node is an isolated state machine (:class:`TwoStateBeepNode`)
+receiving only its one-bit observation; the network
+(:class:`BeepingNetwork`) computes observations from the beep pattern.
+The test suite proves trajectory equivalence with the abstract
+:class:`~repro.core.two_state.TwoStateMIS` under shared coins — i.e. the
+weak-communication claim of the paper holds operationally: one bit of
+feedback per round suffices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.two_state import resolve_two_state_init
+from repro.graphs.graph import Graph
+from repro.sim.rng import CoinSource, as_coin_source
+
+BEEP = True
+LISTEN = False
+
+
+class TwoStateBeepNode:
+    """A single anonymous node running the 2-state MIS beeping protocol.
+
+    The node has one bit of state (black/white), no ID, no knowledge of
+    n or Δ, and consumes one fresh random bit per round.  Its interface
+    is exactly the beeping model's:
+
+    * :meth:`emit` — decide BEEP or LISTEN for this round;
+    * :meth:`observe` — receive the one-bit channel feedback and update.
+    """
+
+    def __init__(self, black: bool) -> None:
+        self.black = bool(black)
+
+    def emit(self) -> bool:
+        """Black nodes beep; white nodes listen."""
+        return BEEP if self.black else LISTEN
+
+    def observe(self, heard_beep: bool, coin: bool) -> None:
+        """Process feedback: for a beeper, ``heard_beep`` is the collision
+        bit; for a listener, whether any neighbour beeped."""
+        if self.black and heard_beep:
+            # Collision: some neighbour is black too → re-randomize.
+            self.black = coin
+        elif not self.black and not heard_beep:
+            # Silence: no black neighbour → re-randomize.
+            self.black = coin
+        # Otherwise: consistent; keep state (coin is discarded, matching
+        # the φ_t discipline where inactive vertices ignore their coin).
+
+
+class BeepingNetwork:
+    """Synchronous beeping channel simulator (with collision detection).
+
+    Given the per-node beep decisions, delivers to every node the single
+    bit "did at least one *neighbour* beep this round".  (For beeping
+    nodes this is exactly sender-side collision detection.)
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.n = graph.n
+        #: Total beeps transmitted across all deliveries (accounting).
+        self.total_beeps = 0
+        #: Number of deliveries performed (= protocol rounds).
+        self.deliveries = 0
+
+    def deliver(self, beeps: np.ndarray, count: bool = True) -> np.ndarray:
+        """Map beep decisions to per-node neighbour-beep observations.
+
+        ``count=False`` skips the accounting counters — used by
+        introspection helpers that reuse the delivery computation
+        without representing actual protocol traffic.
+        """
+        beeps = np.asarray(beeps, dtype=bool)
+        if beeps.shape != (self.n,):
+            raise ValueError(f"beeps must have shape ({self.n},)")
+        if count:
+            self.total_beeps += int(beeps.sum())
+            self.deliveries += 1
+        heard = np.zeros(self.n, dtype=bool)
+        for u in range(self.n):
+            if beeps[u]:
+                for v in self.graph.neighbors(u):
+                    heard[v] = True
+        return heard
+
+    def beeps_per_node_round(self) -> float:
+        """Average beeps per node per delivered round (accounting)."""
+        if self.deliveries == 0 or self.n == 0:
+            return 0.0
+        return self.total_beeps / (self.deliveries * self.n)
+
+
+class BeepingTwoStateMIS:
+    """The 2-state MIS process realized as a beeping-network execution.
+
+    API-compatible with :class:`~repro.core.process.MISProcess` for the
+    methods the runner uses (``step``, ``black_mask``, ``active_mask``,
+    ``stable_black_mask``, ``covered_mask``, ``unstable_mask``,
+    ``is_stabilized``, ``mis``), so :func:`repro.sim.runner.run_until_stable`
+    works unchanged.
+
+    Coin discipline matches :class:`TwoStateMIS` exactly: one ``bits(n)``
+    draw per round, one optional draw for random initialization.
+    """
+
+    name = "2-state (beeping)"
+
+    def __init__(
+        self,
+        graph: Graph,
+        coins: CoinSource | int | np.random.Generator | None = None,
+        init: np.ndarray | str | None = None,
+    ) -> None:
+        self.graph = graph
+        self.n = graph.n
+        self.coins = as_coin_source(coins)
+        initial = resolve_two_state_init(init, self.n, self.coins)
+        self.nodes = [TwoStateBeepNode(bool(b)) for b in initial]
+        self.network = BeepingNetwork(graph)
+        self.round = 0
+
+    def step(self, rounds: int = 1) -> None:
+        """One synchronous beeping round per iteration."""
+        for _ in range(rounds):
+            beeps = np.array([node.emit() for node in self.nodes], dtype=bool)
+            heard = self.network.deliver(beeps)
+            phi = self.coins.bits(self.n)
+            for u, node in enumerate(self.nodes):
+                node.observe(bool(heard[u]), bool(phi[u]))
+            self.round += 1
+
+    # ------------------------------------------------------------------
+    # MISProcess-compatible introspection
+    # ------------------------------------------------------------------
+    def black_mask(self) -> np.ndarray:
+        return np.array([node.black for node in self.nodes], dtype=bool)
+
+    def active_mask(self) -> np.ndarray:
+        black = self.black_mask()
+        heard = self.network.deliver(black, count=False)
+        return np.where(black, heard, ~heard)
+
+    def stable_black_mask(self) -> np.ndarray:
+        black = self.black_mask()
+        heard = self.network.deliver(black, count=False)
+        return black & ~heard
+
+    def covered_mask(self) -> np.ndarray:
+        stable = self.stable_black_mask()
+        return stable | self.network.deliver(stable, count=False)
+
+    def unstable_mask(self) -> np.ndarray:
+        return ~self.covered_mask()
+
+    def is_stabilized(self) -> bool:
+        return bool(self.covered_mask().all())
+
+    def mis(self) -> np.ndarray:
+        if not self.is_stabilized():
+            raise RuntimeError("not stabilized")
+        return np.flatnonzero(self.black_mask())
+
+    def state_vector(self) -> np.ndarray:
+        return self.black_mask()
+
+    def corrupt(self, states: np.ndarray) -> None:
+        """Transient fault: overwrite all node states."""
+        states = np.asarray(states, dtype=bool)
+        if states.shape != (self.n,):
+            raise ValueError("bad state shape")
+        for node, value in zip(self.nodes, states):
+            node.black = bool(value)

@@ -1,0 +1,188 @@
+"""Transient-fault adversaries for the self-stabilization experiments.
+
+Self-stabilization (Dijkstra [10], Dolev [11]) means: from *any* state,
+the system converges to a legitimate state and stays there.  Transient
+faults are modelled as an adversary overwriting part of the state vector
+mid-run; a self-stabilizing algorithm recovers without restart.
+
+Experiment E11 uses :class:`FaultInjectionCampaign` to measure recovery
+times after various corruption patterns and compare them to cold-start
+stabilization times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.rng import spawn_seeds
+from repro.sim.runner import run_until_stable
+
+
+class Corruption:
+    """Maps the current state vector to a corrupted one."""
+
+    def apply(self, process, rng: np.random.Generator) -> None:
+        raise NotImplementedError
+
+
+class RandomCorruption(Corruption):
+    """Corrupt each vertex independently with probability ``rate``.
+
+    Corrupted vertices get a uniformly random *valid* state for the
+    process (2-state: random color; 3-state/3-color: random among the
+    three states).
+    """
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.rate = rate
+
+    def apply(self, process, rng: np.random.Generator) -> None:
+        n = process.n
+        hit = rng.random(n) < self.rate
+        states = process.state_vector()
+        if states.dtype == bool:
+            random_states = rng.random(n) < 0.5
+        else:
+            random_states = rng.integers(0, 3, size=n).astype(states.dtype)
+        states[hit] = random_states[hit]
+        process.corrupt(states)
+
+
+class TargetedCorruption(Corruption):
+    """Corrupt an explicit vertex set to an explicit value."""
+
+    def __init__(self, vertices: list[int], value: int | bool) -> None:
+        self.vertices = list(vertices)
+        self.value = value
+
+    def apply(self, process, rng: np.random.Generator) -> None:
+        states = process.state_vector()
+        idx = np.asarray(self.vertices, dtype=np.int64)
+        if states.dtype == bool:
+            states[idx] = bool(self.value)
+        else:
+            states[idx] = int(self.value)
+        process.corrupt(states)
+
+
+class MISFlipCorruption(Corruption):
+    """Worst-case-flavored fault: flip a fraction of the *current MIS*.
+
+    Removing stabilized MIS vertices (turning them white) un-stabilizes
+    their whole neighbourhoods — the most disruptive small corruption.
+    """
+
+    def __init__(self, fraction: float = 0.5) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.fraction = fraction
+
+    def apply(self, process, rng: np.random.Generator) -> None:
+        states = process.state_vector()
+        black_mask = process.black_mask()
+        stable = process.stable_black_mask()
+        targets = np.flatnonzero(stable)
+        if targets.size == 0:
+            targets = np.flatnonzero(black_mask)
+        if targets.size == 0:
+            return
+        count = max(1, int(round(self.fraction * targets.size)))
+        chosen = rng.choice(targets, size=count, replace=False)
+        if states.dtype == bool:
+            states[chosen] = False
+        else:
+            from repro.core.states import WHITE
+
+            states[chosen] = WHITE
+        process.corrupt(states)
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault and the measured recovery."""
+
+    at_round: int
+    recovery_rounds: int | None
+    unstable_after_fault: int
+
+
+class FaultInjectionCampaign:
+    """Run a process to stabilization, inject faults, measure recovery.
+
+    Parameters
+    ----------
+    process_factory:
+        ``process_factory(seed) -> process``.
+    corruption:
+        The :class:`Corruption` to inject after each stabilization.
+    injections:
+        Number of fault/recovery cycles per trial.
+    max_rounds:
+        Budget for the initial run and for each recovery.
+    """
+
+    def __init__(
+        self,
+        process_factory: Callable[[int], object],
+        corruption: Corruption,
+        injections: int = 3,
+        max_rounds: int = 100_000,
+    ) -> None:
+        self.process_factory = process_factory
+        self.corruption = corruption
+        self.injections = injections
+        self.max_rounds = max_rounds
+
+    def run_trial(self, seed: int) -> tuple[int | None, list[FaultEvent]]:
+        """One trial: cold-start time plus per-injection recoveries."""
+        rng = np.random.default_rng(seed)
+        process = self.process_factory(seed)
+        initial = run_until_stable(process, max_rounds=self.max_rounds)
+        if not initial.stabilized:
+            return (None, [])
+        events: list[FaultEvent] = []
+        for _ in range(self.injections):
+            self.corruption.apply(process, rng)
+            unstable = int(process.unstable_mask().sum())
+            recovery = run_until_stable(process, max_rounds=self.max_rounds)
+            events.append(
+                FaultEvent(
+                    at_round=process.round,
+                    recovery_rounds=recovery.stabilization_round,
+                    unstable_after_fault=unstable,
+                )
+            )
+        return (initial.stabilization_round, events)
+
+    def run(
+        self, trials: int, seed: int | None = 0
+    ) -> dict[str, object]:
+        """Run the campaign and summarize cold-start vs recovery times."""
+        cold: list[int] = []
+        recoveries: list[int] = []
+        failed = 0
+        for trial_seed in spawn_seeds(seed, trials):
+            cold_time, events = self.run_trial(trial_seed)
+            if cold_time is None:
+                failed += 1
+                continue
+            cold.append(cold_time)
+            for event in events:
+                if event.recovery_rounds is None:
+                    failed += 1
+                else:
+                    recoveries.append(event.recovery_rounds)
+        return {
+            "cold_start_times": np.array(cold, dtype=np.int64),
+            "recovery_times": np.array(recoveries, dtype=np.int64),
+            "failures": failed,
+            "cold_mean": float(np.mean(cold)) if cold else float("nan"),
+            "recovery_mean": (
+                float(np.mean(recoveries)) if recoveries else float("nan")
+            ),
+        }

@@ -1,0 +1,218 @@
+"""The synchronous stone age model, and the 3-state MIS process as a
+stone-age protocol (§1; Emek-Wattenhofer [13]).
+
+Model semantics: nodes communicate over a constant number of *channels*.
+In each round every node beeps on at most one channel and listens on the
+others; a listener learns, per channel, only whether at least one
+neighbour beeped there (one-bit detection, no counting, no collision
+detection).  This generalizes the beeping model to a constant alphabet.
+
+Protocol (the paper's translation of Definition 5): one channel carries
+the black1 "tone".
+
+* A node in state black1 beeps on the channel.
+* Nodes in black0 and white listen.
+* Update on observation (``heard`` = some neighbour beeped black1):
+  - black1 → re-randomize to {black1, black0} (it beeped; no feedback
+    needed — black1 *always* re-randomizes, which is why no collision
+    detection is required);
+  - black0, heard → white (retreat: a neighbour asserted black1);
+  - black0, silent → re-randomize;
+  - white, silent on the channel **and no black0 neighbour**: the white
+    rule of Definition 5 requires NC = {white}, which needs a second
+    channel carrying a generic "I am black" tone.  We therefore use two
+    channels: channel 0 = "black1 tone", channel 1 = "black tone"
+    (beeped by black0; black1's channel-0 beep is also counted as a
+    black tone by the network, reflecting that a stone-age alphabet
+    letter identifies the sender's full state).
+
+This keeps within the model: constant channels, one beep per node per
+round, one-bit per-channel detection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.states import BLACK0, BLACK1, WHITE
+from repro.core.three_state import resolve_three_state_init
+from repro.graphs.graph import Graph
+from repro.sim.rng import CoinSource, as_coin_source
+
+#: Channel indices.
+CHANNEL_BLACK1 = 0
+CHANNEL_BLACK = 1
+NUM_CHANNELS = 2
+
+
+class ThreeStateStoneAgeNode:
+    """A single anonymous node running the 3-state MIS stone-age protocol."""
+
+    def __init__(self, state: int) -> None:
+        if state not in (WHITE, BLACK0, BLACK1):
+            raise ValueError(f"invalid 3-state value {state}")
+        self.state = int(state)
+
+    def emit(self) -> int | None:
+        """Channel to beep on this round (None = listen only).
+
+        black1 beeps on channel 0; black0 beeps on channel 1; white
+        listens.  (A single beep per round, as the model requires.)
+        """
+        if self.state == BLACK1:
+            return CHANNEL_BLACK1
+        if self.state == BLACK0:
+            return CHANNEL_BLACK
+        return None
+
+    def observe(
+        self, heard_black1: bool, heard_black: bool, coin: bool
+    ) -> None:
+        """Update from per-channel observations (Definition 5's rule).
+
+        ``heard_black`` is True when some neighbour is black (black1 or
+        black0) — the network folds black1's beep into the black tone.
+        """
+        if self.state == BLACK1:
+            self.state = BLACK1 if coin else BLACK0
+        elif self.state == BLACK0:
+            if heard_black1:
+                self.state = WHITE
+            else:
+                self.state = BLACK1 if coin else BLACK0
+        else:  # WHITE
+            if not heard_black:
+                self.state = BLACK1 if coin else BLACK0
+            # else: keep white.
+
+
+class StoneAgeNetwork:
+    """Synchronous multi-channel beep delivery (one bit per channel)."""
+
+    def __init__(self, graph: Graph, channels: int = NUM_CHANNELS) -> None:
+        self.graph = graph
+        self.n = graph.n
+        self.channels = channels
+        #: Total channel beeps transmitted (accounting).
+        self.total_beeps = 0
+        #: Number of deliveries performed (= protocol rounds).
+        self.deliveries = 0
+
+    def deliver(self, emissions: list[int | None]) -> np.ndarray:
+        """Map per-node channel emissions to per-node, per-channel bits.
+
+        Returns a boolean array of shape ``(n, channels)`` where entry
+        ``[u, c]`` says whether some neighbour of u beeped on channel c.
+        """
+        if len(emissions) != self.n:
+            raise ValueError("one emission per node required")
+        self.total_beeps += sum(1 for e in emissions if e is not None)
+        self.deliveries += 1
+        heard = np.zeros((self.n, self.channels), dtype=bool)
+        for u, channel in enumerate(emissions):
+            if channel is None:
+                continue
+            if not 0 <= channel < self.channels:
+                raise ValueError(f"invalid channel {channel}")
+            for v in self.graph.neighbors(u):
+                heard[v, channel] = True
+        return heard
+
+
+class StoneAgeThreeStateMIS:
+    """The 3-state MIS process as a stone-age network execution.
+
+    MISProcess-compatible for the runner's methods; coin discipline
+    matches :class:`~repro.core.three_state.ThreeStateMIS` (one
+    ``bits(n)`` per round; two draws for random init).
+    """
+
+    name = "3-state (stone age)"
+
+    def __init__(
+        self,
+        graph: Graph,
+        coins: CoinSource | int | np.random.Generator | None = None,
+        init: np.ndarray | str | None = None,
+    ) -> None:
+        self.graph = graph
+        self.n = graph.n
+        self.coins = as_coin_source(coins)
+        initial = resolve_three_state_init(init, self.n, self.coins)
+        self.nodes = [ThreeStateStoneAgeNode(int(s)) for s in initial]
+        self.network = StoneAgeNetwork(graph)
+        self.round = 0
+
+    def step(self, rounds: int = 1) -> None:
+        for _ in range(rounds):
+            emissions = [node.emit() for node in self.nodes]
+            heard = self.network.deliver(emissions)
+            phi = self.coins.bits(self.n)
+            for u, node in enumerate(self.nodes):
+                heard_black1 = bool(heard[u, CHANNEL_BLACK1])
+                heard_black = heard_black1 or bool(heard[u, CHANNEL_BLACK])
+                node.observe(heard_black1, heard_black, bool(phi[u]))
+            self.round += 1
+
+    # ------------------------------------------------------------------
+    def state_vector(self) -> np.ndarray:
+        return np.array([node.state for node in self.nodes], dtype=np.int8)
+
+    def black_mask(self) -> np.ndarray:
+        return self.state_vector() != WHITE
+
+    def stable_black_mask(self) -> np.ndarray:
+        black = self.black_mask()
+        heard = np.zeros(self.n, dtype=bool)
+        for u in range(self.n):
+            if black[u]:
+                for v in self.graph.neighbors(u):
+                    heard[v] = True
+        return black & ~heard
+
+    def covered_mask(self) -> np.ndarray:
+        stable = self.stable_black_mask()
+        covered = stable.copy()
+        for u in range(self.n):
+            if stable[u]:
+                for v in self.graph.neighbors(u):
+                    covered[v] = True
+        return covered
+
+    def unstable_mask(self) -> np.ndarray:
+        return ~self.covered_mask()
+
+    def is_stabilized(self) -> bool:
+        return bool(self.covered_mask().all())
+
+    def active_mask(self) -> np.ndarray:
+        states = self.state_vector()
+        is_black1 = states == BLACK1
+        is_black = states != WHITE
+        heard1 = np.zeros(self.n, dtype=bool)
+        heardb = np.zeros(self.n, dtype=bool)
+        for u in range(self.n):
+            if is_black1[u]:
+                for v in self.graph.neighbors(u):
+                    heard1[v] = True
+            if is_black[u]:
+                for v in self.graph.neighbors(u):
+                    heardb[v] = True
+        return (
+            is_black1
+            | ((states == BLACK0) & ~heard1)
+            | ((states == WHITE) & ~heardb)
+        )
+
+    def mis(self) -> np.ndarray:
+        if not self.is_stabilized():
+            raise RuntimeError("not stabilized")
+        return np.flatnonzero(self.black_mask())
+
+    def corrupt(self, states: np.ndarray) -> None:
+        """Transient fault: overwrite all node states."""
+        from repro.core.states import validate_three_state
+
+        arr = validate_three_state(states, self.n)
+        for node, value in zip(self.nodes, arr):
+            node.state = int(value)

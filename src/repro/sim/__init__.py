@@ -1,0 +1,32 @@
+"""Simulation engine: coin sources, runners, metrics, Monte-Carlo tools."""
+
+from repro.sim.rng import CoinSource, SeededCoins, ScriptedCoins, spawn_seeds
+from repro.sim.runner import RunResult, run_until_stable
+from repro.sim.trace import Trace, TraceRecorder
+from repro.sim.metrics import (
+    ProgressCurve,
+    progress_curve,
+    stabilization_profile,
+)
+from repro.sim.montecarlo import (
+    TrialStats,
+    estimate_stabilization_time,
+    sweep_stabilization_times,
+)
+
+__all__ = [
+    "CoinSource",
+    "SeededCoins",
+    "ScriptedCoins",
+    "spawn_seeds",
+    "RunResult",
+    "run_until_stable",
+    "Trace",
+    "TraceRecorder",
+    "ProgressCurve",
+    "progress_curve",
+    "stabilization_profile",
+    "TrialStats",
+    "estimate_stabilization_time",
+    "sweep_stabilization_times",
+]

@@ -1,0 +1,103 @@
+"""Derived metrics over runs and traces.
+
+* :func:`progress_curve` — the |V_t| decay curve the paper's potential
+  argument tracks (Lemmas 21-23 prove expected multiplicative decay).
+* :func:`stabilization_profile` — per-vertex stabilization times, i.e.
+  the earliest round each vertex is stable.
+* :func:`empirical_decay_rate` — fitted per-round decay of |V_t|, used
+  by the progress experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.trace import Trace
+
+
+@dataclass
+class ProgressCurve:
+    """The |V_t| (unstable count) trajectory with convenience accessors."""
+
+    unstable: np.ndarray
+
+    @property
+    def rounds(self) -> int:
+        """Number of recorded configurations."""
+        return len(self.unstable)
+
+    def halving_times(self) -> list[int]:
+        """Rounds at which |V_t| first drops below n/2, n/4, n/8, ...
+
+        A polylog-stabilizing process shows roughly evenly spaced halving
+        times; an exponential-time one shows rapidly growing gaps.
+        """
+        if self.rounds == 0:
+            return []
+        target = self.unstable[0] / 2.0
+        times = []
+        for t, value in enumerate(self.unstable):
+            while value <= target and target >= 1:
+                times.append(t)
+                target /= 2.0
+        return times
+
+    def decay_rate(self) -> float:
+        """Geometric mean per-round decay factor of |V_t| (ignoring zeros)."""
+        vals = self.unstable.astype(float)
+        vals = vals[vals > 0]
+        if len(vals) < 2:
+            return 0.0
+        ratios = vals[1:] / vals[:-1]
+        return float(np.exp(np.mean(np.log(np.maximum(ratios, 1e-12)))))
+
+
+def progress_curve(trace: Trace) -> ProgressCurve:
+    """Extract the |V_t| curve from a recorded trace."""
+    return ProgressCurve(
+        unstable=np.array(trace.unstable_counts, dtype=np.int64)
+    )
+
+
+def stabilization_profile(process_factory, max_rounds: int) -> np.ndarray:
+    """Per-vertex stabilization times for a fresh run.
+
+    Runs a new process (from ``process_factory()``) for up to
+    ``max_rounds``, recording for each vertex the earliest round at the
+    end of which it is stable (-1 if never within the budget).
+
+    The paper's per-vertex stabilization time is monotone (stable
+    vertices stay stable), which this exploits.
+    """
+    process = process_factory()
+    n = process.n
+    times = np.full(n, -1, dtype=np.int64)
+    covered = process.covered_mask()
+    times[covered] = 0
+    rounds = 0
+    while rounds < max_rounds and (times < 0).any():
+        process.step()
+        rounds += 1
+        covered = process.covered_mask()
+        newly = covered & (times < 0)
+        times[newly] = rounds
+    return times
+
+
+def empirical_decay_rate(traces: list[Trace]) -> float:
+    """Average per-round |V_t| decay factor across traces.
+
+    Lemmas 21-23 prove E[|V_{t+r}|] <= (1 - eps/polylog) |V_t| for
+    r = O(log n); the empirical analogue is the mean geometric decay.
+    """
+    rates = []
+    for trace in traces:
+        curve = progress_curve(trace)
+        rate = curve.decay_rate()
+        if rate > 0:
+            rates.append(rate)
+    if not rates:
+        return 0.0
+    return float(np.exp(np.mean(np.log(rates))))

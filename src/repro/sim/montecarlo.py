@@ -1,0 +1,181 @@
+"""Monte-Carlo estimation of stabilization times.
+
+Every w.h.p. theorem in the paper is validated empirically by repeated
+independent trials.  :func:`estimate_stabilization_time` runs a process
+factory over independent seeds and summarizes the stabilization-time
+distribution; :func:`sweep_stabilization_times` maps that over a
+parameter grid (the engine behind every n-sweep experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.sim.rng import spawn_seeds
+from repro.sim.runner import run_until_stable
+
+
+@dataclass
+class TrialStats:
+    """Summary of a stabilization-time sample.
+
+    ``times`` holds the stabilization rounds of the trials that
+    stabilized; ``failures`` counts trials that exhausted the budget
+    (these are *not* included in the quantile statistics — check
+    ``success_rate`` before interpreting them).
+    """
+
+    times: np.ndarray
+    failures: int
+    max_rounds: int
+
+    @property
+    def trials(self) -> int:
+        """Total number of trials (successes + failures)."""
+        return len(self.times) + self.failures
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of trials that stabilized within the budget."""
+        if self.trials == 0:
+            return 0.0
+        return len(self.times) / self.trials
+
+    @property
+    def mean(self) -> float:
+        """Mean stabilization time of successful trials."""
+        return float(np.mean(self.times)) if len(self.times) else float("nan")
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation of successful trials."""
+        if len(self.times) < 2:
+            return 0.0
+        return float(np.std(self.times, ddof=1))
+
+    @property
+    def median(self) -> float:
+        """Median stabilization time."""
+        return (
+            float(np.median(self.times)) if len(self.times) else float("nan")
+        )
+
+    @property
+    def max(self) -> int:
+        """Worst stabilization time observed."""
+        return int(self.times.max()) if len(self.times) else -1
+
+    @property
+    def min(self) -> int:
+        """Best stabilization time observed."""
+        return int(self.times.min()) if len(self.times) else -1
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile of the stabilization time."""
+        if not len(self.times):
+            return float("nan")
+        return float(np.quantile(self.times, q))
+
+    def mean_ci(self, confidence: float = 0.95) -> tuple[float, float]:
+        """Student-t confidence interval for the mean."""
+        k = len(self.times)
+        if k < 2:
+            return (self.mean, self.mean)
+        sem = self.std / np.sqrt(k)
+        half = sem * scipy_stats.t.ppf(0.5 + confidence / 2.0, df=k - 1)
+        return (self.mean - half, self.mean + half)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        if not len(self.times):
+            return f"0/{self.trials} trials stabilized (budget {self.max_rounds})"
+        lo, hi = self.mean_ci()
+        return (
+            f"mean={self.mean:.1f} [{lo:.1f}, {hi:.1f}]  "
+            f"median={self.median:.0f}  p90={self.quantile(0.9):.0f}  "
+            f"max={self.max}  success={self.success_rate:.0%} "
+            f"({self.trials} trials)"
+        )
+
+
+def estimate_stabilization_time(
+    process_factory: Callable[[int], object],
+    trials: int,
+    max_rounds: int,
+    seed: int | None = 0,
+) -> TrialStats:
+    """Run independent trials and collect stabilization times.
+
+    Parameters
+    ----------
+    process_factory:
+        Called as ``process_factory(trial_seed)``; must return a fresh
+        process.  The factory owns graph construction, so resampling the
+        graph per trial (as G(n,p) experiments require) or fixing it is
+        the caller's choice.
+    trials:
+        Number of independent trials.
+    max_rounds:
+        Per-trial round budget.
+    seed:
+        Master seed; per-trial seeds are spawned from it.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    seeds = spawn_seeds(seed, trials)
+    times = []
+    failures = 0
+    for trial_seed in seeds:
+        process = process_factory(trial_seed)
+        result = run_until_stable(process, max_rounds=max_rounds)
+        if result.stabilized:
+            times.append(result.stabilization_round)
+        else:
+            failures += 1
+    return TrialStats(
+        times=np.array(times, dtype=np.int64),
+        failures=failures,
+        max_rounds=max_rounds,
+    )
+
+
+def sweep_stabilization_times(
+    make_factory: Callable[[object], Callable[[int], object]],
+    grid: list,
+    trials: int,
+    max_rounds: int | Callable[[object], int],
+    seed: int | None = 0,
+) -> dict:
+    """Estimate stabilization times over a parameter grid.
+
+    Parameters
+    ----------
+    make_factory:
+        Maps a grid point to a ``process_factory(trial_seed)``.
+    grid:
+        Parameter values (e.g. a list of n).
+    trials, seed:
+        Passed to :func:`estimate_stabilization_time` (the seed is
+        re-derived per grid point for independence).
+    max_rounds:
+        Either a constant budget or a callable of the grid point.
+
+    Returns
+    -------
+    dict mapping each grid point to its :class:`TrialStats`.
+    """
+    results = {}
+    point_seeds = spawn_seeds(seed, len(grid))
+    for point, point_seed in zip(grid, point_seeds):
+        budget = max_rounds(point) if callable(max_rounds) else max_rounds
+        results[point] = estimate_stabilization_time(
+            make_factory(point),
+            trials=trials,
+            max_rounds=budget,
+            seed=point_seed,
+        )
+    return results

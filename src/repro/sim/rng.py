@@ -1,0 +1,128 @@
+"""Coin sources: the randomness discipline of §2.1.
+
+The paper's analysis flips, at the beginning of every round t and for every
+vertex u, an independent fair coin φ_t(u); only active vertices consume
+their coin.  We mirror that exactly: every process draws a full length-n
+coin array per round from a :class:`CoinSource`, in a fixed documented
+order.  This makes the pure-python reference implementations and the
+vectorized engines trajectory-identical under a shared seed, and lets the
+test suite feed scripted (deterministic) coin streams.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+class CoinSource:
+    """Abstract source of per-round coin arrays.
+
+    Concrete implementations: :class:`SeededCoins` (PRNG-backed) and
+    :class:`ScriptedCoins` (deterministic, for tests).
+    """
+
+    def bits(self, n: int) -> np.ndarray:
+        """``n`` independent fair coin flips as a boolean array.
+
+        ``True`` plays the role of "black" for φ_t(u) draws.
+        """
+        raise NotImplementedError
+
+    def bernoulli(self, n: int, prob: float) -> np.ndarray:
+        """``n`` independent Bernoulli(prob) draws as a boolean array."""
+        raise NotImplementedError
+
+
+class SeededCoins(CoinSource):
+    """PRNG-backed coin source.
+
+    Parameters
+    ----------
+    seed:
+        Any value accepted by :func:`numpy.random.default_rng`, or an
+        existing ``Generator`` to wrap.
+    """
+
+    def __init__(self, seed: int | np.random.Generator | None = None) -> None:
+        if isinstance(seed, np.random.Generator):
+            self._rng = seed
+        else:
+            self._rng = np.random.default_rng(seed)
+
+    def bits(self, n: int) -> np.ndarray:
+        return self._rng.random(n) < 0.5
+
+    def bernoulli(self, n: int, prob: float) -> np.ndarray:
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError(f"prob must be in [0, 1], got {prob}")
+        return self._rng.random(n) < prob
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying numpy generator (e.g. for initial states)."""
+        return self._rng
+
+
+class ScriptedCoins(CoinSource):
+    """Deterministic coin source replaying pre-scripted arrays.
+
+    Each call to :meth:`bits` or :meth:`bernoulli` pops the next script
+    entry (in call order).  Used by tests to drive processes through
+    exact trajectories.
+
+    Parameters
+    ----------
+    script:
+        Sequence of boolean arrays (or sequences coercible to them), one
+        per expected draw, in order.
+    """
+
+    def __init__(self, script: Sequence[Sequence[bool]]) -> None:
+        self._script = [np.asarray(a, dtype=bool) for a in script]
+        self._pos = 0
+
+    def _next(self, n: int) -> np.ndarray:
+        if self._pos >= len(self._script):
+            raise IndexError(
+                f"scripted coins exhausted after {self._pos} draws"
+            )
+        arr = self._script[self._pos]
+        if arr.shape != (n,):
+            raise ValueError(
+                f"scripted draw {self._pos} has shape {arr.shape}, "
+                f"expected ({n},)"
+            )
+        self._pos += 1
+        return arr
+
+    def bits(self, n: int) -> np.ndarray:
+        return self._next(n)
+
+    def bernoulli(self, n: int, prob: float) -> np.ndarray:
+        return self._next(n)
+
+    @property
+    def draws_consumed(self) -> int:
+        """Number of script entries consumed so far."""
+        return self._pos
+
+
+def as_coin_source(
+    coins: CoinSource | int | np.random.Generator | None,
+) -> CoinSource:
+    """Coerce seeds / generators / sources to a :class:`CoinSource`."""
+    if isinstance(coins, CoinSource):
+        return coins
+    return SeededCoins(coins)
+
+
+def spawn_seeds(seed: int | None, count: int) -> list[int]:
+    """Derive ``count`` independent child seeds from a master seed.
+
+    Uses ``numpy.random.SeedSequence`` spawning, so trials in a
+    Monte-Carlo campaign are statistically independent and reproducible.
+    """
+    seq = np.random.SeedSequence(seed)
+    return [int(child.generate_state(1)[0]) for child in seq.spawn(count)]

@@ -1,0 +1,70 @@
+"""Round-by-round trajectory recording.
+
+A :class:`TraceRecorder` is attached to a run (see
+:func:`repro.sim.runner.run_until_stable`) and snapshots the per-round
+aggregate quantities the paper's analysis tracks: |B_t|, |A_t|, |I_t|,
+|V_t| — optionally full state vectors for small graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Trace:
+    """Recorded aggregate trajectory of one run.
+
+    Index 0 is the initial configuration (end of round 0); entry t is the
+    configuration at the end of round t.
+    """
+
+    black_counts: list[int] = field(default_factory=list)
+    active_counts: list[int] = field(default_factory=list)
+    stable_black_counts: list[int] = field(default_factory=list)
+    unstable_counts: list[int] = field(default_factory=list)
+    state_vectors: list[np.ndarray] | None = None
+
+    @property
+    def rounds(self) -> int:
+        """Number of recorded configurations (rounds + 1)."""
+        return len(self.black_counts)
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """The aggregate curves as numpy arrays keyed by name."""
+        return {
+            "black": np.array(self.black_counts, dtype=np.int64),
+            "active": np.array(self.active_counts, dtype=np.int64),
+            "stable_black": np.array(self.stable_black_counts, dtype=np.int64),
+            "unstable": np.array(self.unstable_counts, dtype=np.int64),
+        }
+
+
+class TraceRecorder:
+    """Snapshots a process's aggregates each round into a :class:`Trace`.
+
+    Parameters
+    ----------
+    record_states:
+        Also keep full per-round state vectors (memory O(rounds * n); use
+        only on small graphs / short runs).
+    """
+
+    def __init__(self, record_states: bool = False) -> None:
+        self.trace = Trace(
+            state_vectors=[] if record_states else None
+        )
+
+    def snapshot(self, process) -> None:
+        """Record the process's current aggregates."""
+        trace = self.trace
+        trace.black_counts.append(int(process.black_mask().sum()))
+        trace.active_counts.append(int(process.active_mask().sum()))
+        trace.stable_black_counts.append(
+            int(process.stable_black_mask().sum())
+        )
+        trace.unstable_counts.append(int(process.unstable_mask().sum()))
+        if trace.state_vectors is not None:
+            trace.state_vectors.append(process.state_vector())

@@ -1,0 +1,100 @@
+"""Round-budget recommendations derived from the paper's bounds.
+
+``max_rounds`` choices in experiments should come from the theory, with
+an explicit safety factor, rather than magic numbers.  Each function
+returns a budget that the corresponding theorem says is exceeded with
+probability at most ~n^-2 (up to the safety factor).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs.graph import Graph
+from repro.theory.bounds import theorem12_round_bound
+
+#: Default multiplicative safety factor over the theoretical bound.
+SAFETY: float = 4.0
+
+
+def clique_budget(n: int, safety: float = SAFETY) -> int:
+    """Theorem 8: Θ(log² n) w.h.p. on K_n."""
+    if n < 2:
+        return 1
+    return max(16, int(safety * 8.0 * math.log2(n) ** 2))
+
+
+def arboricity_budget(n: int, arboricity: int, safety: float = SAFETY) -> int:
+    """Theorem 11: O(log n) w.h.p. with constants growing with 2^d for
+    average subgraph degree d <= 2·arboricity (the ε in the proof is
+    ~2^-d / d)."""
+    if n < 2:
+        return 1
+    d = max(1, 2 * arboricity)
+    epsilon_inverse = (d + 1) * (2 ** d) * 2 * math.e * d
+    return max(16, int(safety * 3 * epsilon_inverse * math.log(n)))
+
+
+def max_degree_budget(n: int, delta: int, safety: float = SAFETY) -> int:
+    """Theorem 12: 24eΔ log n w.h.p."""
+    return max(16, int(safety * theorem12_round_bound(n, delta)))
+
+
+def gnp_budget(n: int, safety: float = SAFETY) -> int:
+    """Theorem 19: O(log^5.5 n) w.h.p. in the covered regimes.
+
+    The exponent 5.5 makes this astronomically loose at small n; we use
+    log^3 n as the practical envelope (measured stabilization times sit
+    well below even log² n) but never less than the clique budget.
+    """
+    if n < 2:
+        return 1
+    return max(
+        clique_budget(n, safety),
+        int(safety * 4.0 * math.log2(n) ** 3),
+    )
+
+
+def three_color_budget(n: int, a: float, safety: float = SAFETY) -> int:
+    """Theorem 32: O(log⁶ n) w.h.p.; practically the switch period
+    ``a ln n`` times a few dozen wake cycles dominates at laptop n."""
+    if n < 2:
+        return 1
+    switch_period = a * math.log(max(n, 2))
+    return max(
+        gnp_budget(n, safety),
+        int(safety * 30 * switch_period),
+    )
+
+
+def recommended_budget(graph: Graph, process: str = "2-state") -> int:
+    """Pick a budget from the graph's structure.
+
+    Uses the tightest applicable theorem: clique detection → Theorem 8;
+    degeneracy (arboricity proxy) small → Theorem 11; otherwise the
+    Theorem 12 Δ-bound capped by the G(n,p) polylog envelope.
+    """
+    n = graph.n
+    if n < 2:
+        return 1
+    if process not in ("2-state", "3-state", "3-color"):
+        raise ValueError(f"unknown process {process!r}")
+    m = graph.m
+    if m == n * (n - 1) // 2:
+        base = clique_budget(n)
+    else:
+        from repro.graphs.properties import degeneracy
+
+        degen = degeneracy(graph)
+        if degen <= 4:
+            base = arboricity_budget(n, degen)
+        else:
+            base = min(
+                max_degree_budget(n, graph.max_degree()),
+                gnp_budget(n) * 8,
+            )
+    if process == "3-color":
+        from repro.core.switch import DEFAULT_A
+
+        return max(base, three_color_budget(n, DEFAULT_A))
+    return base

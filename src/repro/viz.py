@@ -1,0 +1,111 @@
+"""Terminal visualization of process states and trajectories.
+
+Matplotlib is unavailable offline, so everything renders to text:
+
+* :func:`render_states` — one character per vertex (``#`` black,
+  ``.`` white, ``:`` gray), chunked into rows;
+* :func:`render_grid_states` — state map for grid graphs laid out as
+  the actual grid;
+* :func:`render_timeline` — per-round rows of :func:`render_states`,
+  annotated with |B_t| / |A_t| / |V_t|;
+* :func:`state_histogram` — a horizontal-bar summary of a state vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.states import BLACK, GRAY, WHITE
+
+#: Glyphs per state for 3-color vectors (and bool: False/True → . / #).
+GLYPHS = {WHITE: ".", GRAY: ":", BLACK: "#"}
+BOOL_GLYPHS = {False: ".", True: "#"}
+
+
+def _glyph_row(states: np.ndarray) -> str:
+    states = np.asarray(states)
+    if states.dtype == bool:
+        return "".join(BOOL_GLYPHS[bool(s)] for s in states)
+    return "".join(GLYPHS.get(int(s), "?") for s in states)
+
+
+def render_states(states: np.ndarray, width: int = 64) -> str:
+    """Render a state vector as glyph rows of at most ``width`` chars.
+
+    Boolean vectors use ``.``/``#``; int8 3-color/3-state vectors use
+    ``.``/``:``/``#`` (white/gray-or-black0/black-or-black1).
+    """
+    row = _glyph_row(states)
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    return "\n".join(
+        row[i:i + width] for i in range(0, len(row), width)
+    ) or ""
+
+
+def render_grid_states(states: np.ndarray, rows: int, cols: int) -> str:
+    """Render a state vector over a ``rows x cols`` grid layout."""
+    states = np.asarray(states)
+    if states.shape != (rows * cols,):
+        raise ValueError(
+            f"states must have shape ({rows * cols},), got {states.shape}"
+        )
+    glyphs = _glyph_row(states)
+    return "\n".join(
+        glyphs[r * cols:(r + 1) * cols] for r in range(rows)
+    )
+
+
+def render_timeline(
+    process,
+    rounds: int,
+    width: int = 64,
+    every: int = 1,
+) -> str:
+    """Step ``process`` and render one annotated state row per round.
+
+    Only graphs small enough to fit one row (n <= width) render
+    usefully; larger ones are truncated with an ellipsis marker.
+    """
+    if rounds < 0 or every < 1:
+        raise ValueError("rounds >= 0 and every >= 1 required")
+    lines = []
+    for t in range(rounds + 1):
+        if t % every == 0:
+            states = process.state_vector()
+            row = _glyph_row(states)
+            if len(row) > width:
+                row = row[:width - 1] + "…"
+            black = int(process.black_mask().sum())
+            active = int(process.active_mask().sum())
+            unstable = int(process.unstable_mask().sum())
+            lines.append(
+                f"t={process.round:4d} |B|={black:4d} |A|={active:4d} "
+                f"|V|={unstable:4d}  {row}"
+            )
+        if t < rounds:
+            process.step()
+    return "\n".join(lines)
+
+
+def state_histogram(states: np.ndarray) -> str:
+    """Horizontal-bar histogram of a state vector."""
+    states = np.asarray(states)
+    if states.dtype == bool:
+        labels = {False: "white", True: "black"}
+        values, counts = np.unique(states, return_counts=True)
+        pairs = [(labels[bool(v)], int(c)) for v, c in zip(values, counts)]
+    else:
+        labels = {WHITE: "white", GRAY: "gray/black0", BLACK: "black"}
+        values, counts = np.unique(states, return_counts=True)
+        pairs = [
+            (labels.get(int(v), str(v)), int(c))
+            for v, c in zip(values, counts)
+        ]
+    total = sum(c for _, c in pairs) or 1
+    bar_width = 40
+    lines = []
+    for label, count in pairs:
+        bar = "█" * max(1, int(round(bar_width * count / total)))
+        lines.append(f"{label:>12} {count:6d} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Shared fixtures: a small zoo of graphs used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.random_graphs import gnp_random_graph, random_tree
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    return Graph(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def small_zoo() -> dict[str, Graph]:
+    """A varied set of small graphs for behavioural tests."""
+    return {
+        "empty5": empty_graph(5),
+        "single": empty_graph(1),
+        "edge": Graph(2, [(0, 1)]),
+        "path10": path_graph(10),
+        "cycle9": cycle_graph(9),
+        "star12": star_graph(12),
+        "clique8": complete_graph(8),
+        "grid4x5": grid_graph(4, 5),
+        "petersen": petersen_graph(),
+        "tree30": random_tree(30, rng=1),
+        "gnp40": gnp_random_graph(40, 0.15, rng=2),
+    }
+
+
+@pytest.fixture
+def connected_zoo(small_zoo) -> dict[str, Graph]:
+    """The connected members of the zoo (n >= 2)."""
+    return {
+        name: g
+        for name, g in small_zoo.items()
+        if name not in ("empty5", "single")
+    }

@@ -1,0 +1,107 @@
+"""Tests for repro.core.activity (§2 / §4.1 notation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.activity import (
+    active_set,
+    k_active_set,
+    stable_black_set,
+    theta_u,
+    unstable_set,
+)
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+
+
+class TestActiveSet:
+    def test_black_with_black_neighbor_active(self):
+        g = path_graph(2)
+        assert active_set(g, np.array([True, True])).all()
+
+    def test_black_isolated_inactive(self):
+        g = path_graph(2)
+        active = active_set(g, np.array([True, False]))
+        assert not active.any()
+
+    def test_all_white_all_active(self):
+        g = complete_graph(4)
+        assert active_set(g, np.zeros(4, dtype=bool)).all()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            active_set(path_graph(3), np.array([True, False]))
+
+
+class TestKActiveSet:
+    def test_star_all_black(self):
+        g = star_graph(5)
+        black = np.ones(5, dtype=bool)
+        assert k_active_set(g, black, 4).tolist() == [True] * 5
+        assert k_active_set(g, black, 3).tolist() == [False, True, True,
+                                                      True, True]
+        assert k_active_set(g, black, 0).tolist() == [False] * 5
+
+    def test_k_active_subset_of_active(self):
+        g = complete_graph(6)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            black = rng.random(6) < 0.5
+            active = active_set(g, black)
+            for k in (0, 1, 3, 10):
+                k_act = k_active_set(g, black, k)
+                assert not np.any(k_act & ~active)
+
+
+class TestStableAndUnstable:
+    def test_stable_black_is_independent(self):
+        g = path_graph(5)
+        black = np.array([True, True, False, False, True])
+        stable = stable_black_set(g, black)
+        assert stable.tolist() == [False, False, False, False, True]
+
+    def test_unstable_set_complement_of_coverage(self):
+        g = path_graph(5)
+        black = np.array([True, False, False, False, False])
+        unstable = unstable_set(g, black)
+        # Vertex 0 stable black, vertex 1 covered; 2, 3, 4 unstable.
+        assert unstable.tolist() == [False, False, True, True, True]
+
+    def test_empty_black_all_unstable(self):
+        g = path_graph(4)
+        assert unstable_set(g, np.zeros(4, dtype=bool)).all()
+
+
+class TestTheta:
+    def test_theta_star_hub(self):
+        # Hub of a star: any neighbour v covers only itself among N(u).
+        g = star_graph(6)
+        assert theta_u(g, 0, 1) == 1
+        assert theta_u(g, 0, 3) == 3
+        assert theta_u(g, 0, 100) == 5
+
+    def test_theta_clique(self):
+        # In K_5, any single neighbour v of u covers all of N(u).
+        g = complete_graph(5)
+        assert theta_u(g, 0, 1) == 4
+
+    def test_theta_zero_cases(self):
+        g = path_graph(3)
+        assert theta_u(g, 0, 0) == 0
+        assert theta_u(Graph(2), 0, 3) == 0
+
+    def test_theta_monotone_in_i(self):
+        g = complete_graph(6).with_edges_added([])
+        for u in range(3):
+            previous = 0
+            for i in range(1, 5):
+                value = theta_u(g, u, i)
+                assert value >= previous
+                previous = value
+
+    def test_theta_path_middle(self):
+        # u = middle of path of 5: N(u) = {1, 3}; S = {1}: N+(1) ∩ N(u)
+        # = {1}; S = {1, 3} covers both.
+        g = path_graph(5)
+        assert theta_u(g, 2, 1) == 1
+        assert theta_u(g, 2, 2) == 2

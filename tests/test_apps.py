@@ -1,0 +1,165 @@
+"""Tests for repro.apps (coloring and matching reductions) and
+repro.graphs.transforms."""
+
+import numpy as np
+import pytest
+
+from repro.apps.coloring import (
+    SelfStabilizingColoring,
+    coloring_from_mis,
+    verify_proper_coloring,
+)
+from repro.apps.matching import (
+    SelfStabilizingMatching,
+    verify_maximal_matching,
+)
+from repro.core.three_state import ThreeStateMIS
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.graphs.transforms import color_product_graph, line_graph
+
+
+class TestLineGraph:
+    def test_path(self):
+        lg, edges = line_graph(path_graph(4))
+        # P4 has 3 edges; its line graph is P3.
+        assert lg.n == 3
+        assert lg.m == 2
+        assert edges == [(0, 1), (1, 2), (2, 3)]
+
+    def test_star(self):
+        lg, _ = line_graph(star_graph(5))
+        # All 4 edges share the hub: line graph is K4.
+        assert lg.n == 4
+        assert lg.m == 6
+
+    def test_triangle(self):
+        lg, _ = line_graph(complete_graph(3))
+        assert lg.n == 3
+        assert lg.m == 3  # K3's line graph is K3
+
+    def test_empty(self):
+        lg, edges = line_graph(Graph(5))
+        assert lg.n == 0
+        assert edges == []
+
+
+class TestColorProduct:
+    def test_dimensions(self):
+        g = path_graph(3)
+        product, palette = color_product_graph(g)
+        assert palette == 3  # Δ + 1 = 2 + 1
+        assert product.n == 9
+        # Edges: per-vertex palette cliques 3*C(3,2)=9 + cross 2*3=6.
+        assert product.m == 15
+
+    def test_explicit_palette(self):
+        g = path_graph(2)
+        product, palette = color_product_graph(g, colors=5)
+        assert palette == 5
+        assert product.n == 10
+
+    def test_palette_validation(self):
+        with pytest.raises(ValueError):
+            color_product_graph(path_graph(2), colors=0)
+
+
+class TestColoringDecoding:
+    def test_decode_roundtrip(self):
+        # 2 vertices, palette 2: choose (0, 1) and (1, 0).
+        colors = coloring_from_mis(np.array([1, 2]), n=2, palette=2)
+        assert colors.tolist() == [1, 0]
+
+    def test_double_choice_rejected(self):
+        with pytest.raises(ValueError, match="two colors"):
+            coloring_from_mis(np.array([0, 1]), n=1, palette=2)
+
+    def test_missing_choice_rejected(self):
+        with pytest.raises(ValueError, match="without"):
+            coloring_from_mis(np.array([0]), n=2, palette=2)
+
+    def test_verify_proper(self):
+        g = path_graph(3)
+        verify_proper_coloring(g, np.array([0, 1, 0]))
+        with pytest.raises(AssertionError):
+            verify_proper_coloring(g, np.array([0, 0, 1]))
+
+
+class TestSelfStabilizingColoring:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: cycle_graph(9),
+            lambda: petersen_graph(),
+            lambda: star_graph(6),
+            lambda: gnp_random_graph(24, 0.15, rng=1),
+        ],
+        ids=["cycle", "petersen", "star", "gnp"],
+    )
+    def test_produces_proper_coloring(self, graph_factory):
+        graph = graph_factory()
+        app = SelfStabilizingColoring(graph, coins=3)
+        colors = app.run(max_rounds=200_000)
+        # run() verifies; double-check palette bound here.
+        assert colors.max() <= graph.max_degree()
+
+    def test_recovers_from_total_corruption(self):
+        graph = cycle_graph(12)
+        app = SelfStabilizingColoring(graph, coins=4)
+        app.run(max_rounds=200_000)
+        app.corrupt_all(rng=5)
+        colors = app.run(max_rounds=200_000)
+        verify_proper_coloring(graph, colors)
+
+    def test_works_with_three_state_process(self):
+        graph = path_graph(8)
+        app = SelfStabilizingColoring(
+            graph, coins=6, process_cls=ThreeStateMIS
+        )
+        colors = app.run(max_rounds=200_000)
+        verify_proper_coloring(graph, colors)
+
+
+class TestSelfStabilizingMatching:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: cycle_graph(10),
+            lambda: complete_graph(8),
+            lambda: gnp_random_graph(20, 0.2, rng=2),
+        ],
+        ids=["cycle", "clique", "gnp"],
+    )
+    def test_produces_maximal_matching(self, graph_factory):
+        graph = graph_factory()
+        app = SelfStabilizingMatching(graph, coins=7)
+        matching = app.run(max_rounds=200_000)
+        assert len(matching) >= 1
+
+    def test_matching_size_bounds(self):
+        g = complete_graph(10)
+        app = SelfStabilizingMatching(g, coins=8)
+        matching = app.run(max_rounds=200_000)
+        # Maximal matchings of K10 have 5 edges (perfect is forced:
+        # any maximal matching of K_{2k} is perfect).
+        assert len(matching) == 5
+
+    def test_verify_rejects_bad_matchings(self):
+        g = path_graph(4)
+        with pytest.raises(AssertionError, match="not an edge"):
+            verify_maximal_matching(g, [(0, 2)])
+        with pytest.raises(AssertionError, match="reused"):
+            verify_maximal_matching(g, [(0, 1), (1, 2)])
+        with pytest.raises(AssertionError, match="not maximal"):
+            verify_maximal_matching(g, [])  # (0,1) is addable
+
+    def test_empty_graph(self):
+        app = SelfStabilizingMatching(Graph(4), coins=9)
+        assert app.run(max_rounds=1000) == []

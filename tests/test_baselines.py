@@ -1,0 +1,135 @@
+"""Tests for repro.baselines (Luby, greedy, sequential)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.greedy import greedy_mis, random_order_greedy_mis
+from repro.baselines.luby import LubyMIS, luby_mis
+from repro.baselines.sequential import (
+    AdversarialDaemon,
+    CentralDaemon,
+    RandomDaemon,
+    SequentialSelfStabilizingMIS,
+)
+from repro.core.verify import is_maximal_independent_set
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+
+
+class TestGreedy:
+    def test_lexicographic_path(self):
+        assert greedy_mis(path_graph(5)).tolist() == [0, 2, 4]
+
+    def test_always_valid(self, small_zoo):
+        for g in small_zoo.values():
+            assert is_maximal_independent_set(g, greedy_mis(g))
+
+    def test_custom_order(self):
+        g = path_graph(3)
+        assert greedy_mis(g, order=[1, 0, 2]).tolist() == [1]
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            greedy_mis(path_graph(3), order=[0, 0, 1])
+
+    def test_random_order_valid(self, small_zoo):
+        for seed, g in enumerate(small_zoo.values()):
+            mis = random_order_greedy_mis(g, rng=seed)
+            assert is_maximal_independent_set(g, mis)
+
+    def test_random_order_reproducible(self):
+        g = complete_graph(10)
+        a = random_order_greedy_mis(g, rng=3)
+        b = random_order_greedy_mis(g, rng=3)
+        assert np.array_equal(a, b)
+
+
+class TestLuby:
+    def test_one_shot_valid(self, small_zoo):
+        for seed, g in enumerate(small_zoo.values()):
+            mis, phases = luby_mis(g, rng=seed)
+            assert is_maximal_independent_set(g, mis)
+            assert phases >= (1 if g.n else 0)
+
+    def test_phase_count_logarithmic_smoke(self):
+        g = complete_graph(128)
+        _, phases = luby_mis(g, rng=1)
+        assert phases <= 10  # one phase suffices on a clique usually
+
+    def test_stepped_interface_matches_semantics(self):
+        g = star_graph(10)
+        luby = LubyMIS(g, coins=2)
+        rounds = 0
+        while not luby.is_stabilized():
+            luby.step()
+            rounds += 1
+            assert rounds < 1000
+        assert is_maximal_independent_set(g, luby.mis())
+        # Two rounds per phase.
+        assert rounds % 2 == 0
+
+    def test_stepped_mis_before_done_raises(self):
+        luby = LubyMIS(complete_graph(4), coins=0)
+        with pytest.raises(RuntimeError):
+            luby.mis()
+
+    def test_empty_graph(self):
+        mis, phases = luby_mis(Graph(0), rng=0)
+        assert mis.size == 0
+
+
+class TestSequential:
+    def test_stabilizes_from_all_white(self, small_zoo):
+        for g in small_zoo.values():
+            algo = SequentialSelfStabilizingMIS(g)
+            algo.run()
+            assert algo.is_stabilized()
+            assert is_maximal_independent_set(g, algo.mis())
+
+    def test_stabilizes_from_random_states(self, small_zoo):
+        rng = np.random.default_rng(0)
+        for g in small_zoo.values():
+            algo = SequentialSelfStabilizingMIS(
+                g, init=rng.random(g.n) < 0.5
+            )
+            algo.run()
+            assert is_maximal_independent_set(g, algo.mis())
+
+    @pytest.mark.parametrize(
+        "daemon_factory",
+        [CentralDaemon, lambda: RandomDaemon(rng=1), AdversarialDaemon],
+        ids=["central", "random", "adversarial"],
+    )
+    def test_two_moves_per_vertex_bound(self, small_zoo, daemon_factory):
+        # The classical theorem: each vertex moves at most twice,
+        # regardless of daemon.
+        rng = np.random.default_rng(1)
+        for g in small_zoo.values():
+            algo = SequentialSelfStabilizingMIS(
+                g, init=rng.random(g.n) < 0.5, daemon=daemon_factory()
+            )
+            algo.run(max_moves=2 * g.n + 1)
+            assert algo.move_counts.max(initial=0) <= 2
+
+    def test_total_moves_at_most_2n(self, small_zoo):
+        rng = np.random.default_rng(2)
+        for g in small_zoo.values():
+            algo = SequentialSelfStabilizingMIS(
+                g, init=rng.random(g.n) < 0.5,
+                daemon=AdversarialDaemon(),
+            )
+            moves = algo.run()
+            assert moves <= 2 * g.n
+
+    def test_step_returns_false_when_quiescent(self):
+        g = path_graph(3)
+        algo = SequentialSelfStabilizingMIS(
+            g, init=np.array([False, True, False])
+        )
+        assert not algo.step()
+
+    def test_init_shape_validated(self):
+        with pytest.raises(ValueError):
+            SequentialSelfStabilizingMIS(
+                path_graph(3), init=np.ones(4, dtype=bool)
+            )

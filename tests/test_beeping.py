@@ -1,0 +1,161 @@
+"""Tests for the beeping model (repro.models.beeping)."""
+
+import numpy as np
+import pytest
+
+from repro.core.two_state import TwoStateMIS
+from repro.core.verify import is_maximal_independent_set
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.models.beeping import (
+    BeepingNetwork,
+    BeepingTwoStateMIS,
+    TwoStateBeepNode,
+)
+from repro.sim.runner import run_until_stable
+
+
+class TestBeepingNetwork:
+    def test_delivery_semantics(self):
+        g = path_graph(3)
+        net = BeepingNetwork(g)
+        heard = net.deliver(np.array([True, False, False]))
+        # Only the middle vertex neighbours the beeper.
+        assert heard.tolist() == [False, True, False]
+
+    def test_collision_visibility(self):
+        # Two adjacent beepers hear each other (sender collision detection).
+        g = path_graph(2)
+        net = BeepingNetwork(g)
+        heard = net.deliver(np.array([True, True]))
+        assert heard.all()
+
+    def test_no_self_hearing(self):
+        g = Graph(2)
+        net = BeepingNetwork(g)
+        heard = net.deliver(np.array([True, True]))
+        assert not heard.any()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BeepingNetwork(path_graph(3)).deliver(np.array([True]))
+
+
+class TestBeepNode:
+    def test_black_beeps_white_listens(self):
+        assert TwoStateBeepNode(True).emit() is True
+        assert TwoStateBeepNode(False).emit() is False
+
+    def test_black_collision_rerandomizes(self):
+        node = TwoStateBeepNode(True)
+        node.observe(heard_beep=True, coin=False)
+        assert not node.black
+
+    def test_black_no_collision_keeps(self):
+        node = TwoStateBeepNode(True)
+        node.observe(heard_beep=False, coin=False)
+        assert node.black
+
+    def test_white_silence_rerandomizes(self):
+        node = TwoStateBeepNode(False)
+        node.observe(heard_beep=False, coin=True)
+        assert node.black
+
+    def test_white_hearing_keeps(self):
+        node = TwoStateBeepNode(False)
+        node.observe(heard_beep=True, coin=True)
+        assert not node.black
+
+
+class TestBeepingExecution:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: complete_graph(12),
+            lambda: cycle_graph(11),
+            lambda: star_graph(8),
+        ],
+        ids=["clique", "cycle", "star"],
+    )
+    def test_equivalent_to_abstract_process(self, graph_factory):
+        graph = graph_factory()
+        seed = 31
+        abstract = TwoStateMIS(graph, coins=seed)
+        beeping = BeepingTwoStateMIS(graph, coins=seed)
+        assert np.array_equal(abstract.black_mask(), beeping.black_mask())
+        for _ in range(50):
+            abstract.step()
+            beeping.step()
+            assert np.array_equal(
+                abstract.black_mask(), beeping.black_mask()
+            )
+            assert np.array_equal(
+                abstract.active_mask(), beeping.active_mask()
+            )
+
+    def test_runs_with_runner(self, small_zoo):
+        for seed, g in enumerate(small_zoo.values()):
+            proc = BeepingTwoStateMIS(g, coins=seed)
+            result = run_until_stable(proc, max_rounds=50_000)
+            assert result.stabilized
+            assert is_maximal_independent_set(g, result.mis)
+
+    def test_explicit_init(self):
+        g = path_graph(3)
+        proc = BeepingTwoStateMIS(
+            g, coins=0, init=np.array([True, False, True])
+        )
+        assert proc.black_mask().tolist() == [True, False, True]
+        assert proc.is_stabilized()
+
+    def test_corrupt_and_recover(self):
+        g = star_graph(10)
+        proc = BeepingTwoStateMIS(g, coins=2)
+        run_until_stable(proc, max_rounds=50_000)
+        proc.corrupt(np.ones(10, dtype=bool))
+        assert not proc.is_stabilized()
+        recovery = run_until_stable(proc, max_rounds=50_000)
+        assert recovery.stabilized
+
+    def test_corrupt_validates_shape(self):
+        proc = BeepingTwoStateMIS(path_graph(3), coins=0)
+        with pytest.raises(ValueError):
+            proc.corrupt(np.ones(5, dtype=bool))
+
+    def test_mis_before_stable_raises(self):
+        proc = BeepingTwoStateMIS(
+            complete_graph(6), coins=0, init="all_black"
+        )
+        with pytest.raises(RuntimeError):
+            proc.mis()
+
+
+class TestTrafficAccounting:
+    def test_counters_track_protocol_rounds_only(self):
+        from repro.graphs.generators import cycle_graph
+
+        proc = BeepingTwoStateMIS(cycle_graph(10), coins=1)
+        proc.step(5)
+        assert proc.network.deliveries == 5
+        # Introspection must not inflate the counters.
+        proc.active_mask()
+        proc.covered_mask()
+        proc.is_stabilized()
+        assert proc.network.deliveries == 5
+
+    def test_beeps_bounded_by_one_per_node_round(self):
+        from repro.graphs.generators import star_graph
+
+        proc = BeepingTwoStateMIS(star_graph(12), coins=2)
+        proc.step(20)
+        rate = proc.network.beeps_per_node_round()
+        assert 0.0 <= rate <= 1.0
+
+    def test_empty_network_rate(self):
+        net = BeepingNetwork(Graph(3))
+        assert net.beeps_per_node_round() == 0.0

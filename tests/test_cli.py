@@ -1,0 +1,109 @@
+"""Tests for the command-line interfaces (repro.__main__ and
+repro.experiments.__main__)."""
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.experiments.__main__ import main as experiments_main
+
+
+class TestReproCli:
+    def test_run_gnp(self, capsys):
+        code = repro_main([
+            "run", "--graph", "gnp", "--n", "120", "--p", "0.05",
+            "--process", "2-state", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stabilized after" in out
+        assert "MIS size" in out
+
+    def test_run_with_trace_and_mis(self, capsys):
+        code = repro_main([
+            "run", "--graph", "clique", "--n", "32",
+            "--process", "3-state", "--trace", "--print-mis",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "|V_t|" in out
+        assert "MIS:" in out
+
+    @pytest.mark.parametrize(
+        "process", ["2-state", "3-state", "3-color", "beeping", "stone-age"]
+    )
+    def test_all_processes_run(self, process, capsys):
+        code = repro_main([
+            "run", "--graph", "star", "--n", "24",
+            "--process", process, "--seed", "1",
+        ])
+        assert code == 0
+
+    def test_budget_exhaustion_exit_code(self, capsys):
+        code = repro_main([
+            "run", "--graph", "clique", "--n", "64",
+            "--process", "2-state", "--max-rounds", "0",
+        ])
+        assert code == 1
+        assert "DID NOT STABILIZE" in capsys.readouterr().out
+
+    def test_unknown_graph_family(self):
+        with pytest.raises(SystemExit):
+            repro_main(["run", "--graph", "mystery"])
+
+    def test_unknown_process(self):
+        with pytest.raises(SystemExit):
+            repro_main(["run", "--process", "4-state"])
+
+    def test_budget_command(self, capsys):
+        code = repro_main(["budget", "--graph", "tree", "--n", "128"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2-state:" in out and "3-color:" in out
+
+    def test_edge_list_input(self, tmp_path, capsys):
+        from repro.graphs.generators import cycle_graph
+        from repro.io import write_edge_list
+
+        path = tmp_path / "g.txt"
+        write_edge_list(cycle_graph(12), path)
+        code = repro_main([
+            "run", "--edge-list", str(path), "--process", "2-state",
+        ])
+        assert code == 0
+
+
+class TestExperimentsCli:
+    def test_list(self, capsys):
+        assert experiments_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E14" in out
+
+    def test_run_single(self, capsys):
+        assert experiments_main(["run", "E9"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            experiments_main(["run", "E99"])
+
+
+class TestReportCommand:
+    def test_report_writes_markdown(self, tmp_path, capsys, monkeypatch):
+        # Patch the registry to a single cheap experiment so the report
+        # command is fast in CI.
+        import repro.experiments.registry as registry
+
+        original = dict(registry._REGISTRY)
+        registry._REGISTRY.clear()
+        registry._REGISTRY["E9"] = original["E9"]
+        try:
+            out = tmp_path / "report.md"
+            code = experiments_main(["report", "--out", str(out)])
+            assert code == 0
+            text = out.read_text()
+            assert "# Experiment report" in text
+            assert "E9" in text and "PASS" in text
+        finally:
+            registry._REGISTRY.clear()
+            registry._REGISTRY.update(original)

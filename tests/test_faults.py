@@ -1,0 +1,121 @@
+"""Tests for repro.models.faults."""
+
+import numpy as np
+import pytest
+
+from repro.core.three_color import ThreeColorMIS
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.generators import complete_graph, star_graph
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.models.faults import (
+    FaultInjectionCampaign,
+    MISFlipCorruption,
+    RandomCorruption,
+    TargetedCorruption,
+)
+from repro.sim.runner import run_until_stable
+
+
+@pytest.fixture
+def stabilized_process():
+    g = gnp_random_graph(80, 0.08, rng=1)
+    proc = TwoStateMIS(g, coins=2)
+    result = run_until_stable(proc, max_rounds=50_000)
+    assert result.stabilized
+    return proc
+
+
+class TestRandomCorruption:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            RandomCorruption(1.5)
+
+    def test_rate_zero_noop(self, stabilized_process):
+        before = stabilized_process.state_vector()
+        RandomCorruption(0.0).apply(
+            stabilized_process, np.random.default_rng(0)
+        )
+        assert np.array_equal(stabilized_process.state_vector(), before)
+
+    def test_rate_one_randomizes_roughly_half(self, stabilized_process):
+        RandomCorruption(1.0).apply(
+            stabilized_process, np.random.default_rng(0)
+        )
+        black_frac = stabilized_process.black_mask().mean()
+        assert 0.25 < black_frac < 0.75
+
+    def test_works_on_three_color(self):
+        g = complete_graph(12)
+        proc = ThreeColorMIS(g, coins=1, a=8.0)
+        RandomCorruption(1.0).apply(proc, np.random.default_rng(1))
+        states = proc.state_vector()
+        assert set(np.unique(states)) <= {0, 1, 2}
+
+
+class TestTargetedCorruption:
+    def test_sets_exact_vertices(self, stabilized_process):
+        TargetedCorruption([0, 1, 2], True).apply(
+            stabilized_process, np.random.default_rng(0)
+        )
+        assert stabilized_process.black_mask()[:3].all()
+
+
+class TestMISFlipCorruption:
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            MISFlipCorruption(0.0)
+
+    def test_unstabilizes(self, stabilized_process):
+        assert stabilized_process.is_stabilized()
+        MISFlipCorruption(1.0).apply(
+            stabilized_process, np.random.default_rng(0)
+        )
+        assert not stabilized_process.is_stabilized()
+
+    def test_noop_when_nothing_black(self):
+        g = star_graph(5)
+        proc = TwoStateMIS(g, coins=0, init="all_white")
+        MISFlipCorruption(0.5).apply(proc, np.random.default_rng(0))
+        assert not proc.black_mask().any()
+
+
+class TestCampaign:
+    def test_full_campaign(self):
+        g = gnp_random_graph(60, 0.1, rng=3)
+        campaign = FaultInjectionCampaign(
+            lambda s: TwoStateMIS(g, coins=s),
+            corruption=RandomCorruption(0.5),
+            injections=2,
+            max_rounds=50_000,
+        )
+        summary = campaign.run(trials=4, seed=0)
+        assert summary["failures"] == 0
+        assert len(summary["cold_start_times"]) == 4
+        assert len(summary["recovery_times"]) == 8
+        assert summary["recovery_mean"] >= 0
+
+    def test_single_trial_structure(self):
+        g = complete_graph(16)
+        campaign = FaultInjectionCampaign(
+            lambda s: TwoStateMIS(g, coins=s),
+            corruption=MISFlipCorruption(1.0),
+            injections=3,
+            max_rounds=50_000,
+        )
+        cold, events = campaign.run_trial(seed=5)
+        assert cold is not None
+        assert len(events) == 3
+        for event in events:
+            assert event.recovery_rounds is not None
+            assert event.unstable_after_fault > 0
+
+    def test_budget_exhaustion_counted(self):
+        g = complete_graph(30)
+        campaign = FaultInjectionCampaign(
+            lambda s: TwoStateMIS(g, coins=s, init="all_black"),
+            corruption=RandomCorruption(1.0),
+            injections=1,
+            max_rounds=0,
+        )
+        summary = campaign.run(trials=3, seed=1)
+        assert summary["failures"] == 3

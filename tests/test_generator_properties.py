@@ -1,0 +1,109 @@
+"""Property-based tests for graph generators and substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    connected_components,
+    degeneracy,
+    is_connected,
+)
+from repro.graphs.random_graphs import (
+    gnm_random_graph,
+    gnp_random_graph,
+    random_regular_graph,
+    random_tree,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=60),
+       st.integers(min_value=0, max_value=2**32 - 1))
+def test_random_tree_is_tree(n, seed):
+    g = random_tree(n, rng=seed)
+    assert g.m == n - 1
+    assert is_connected(g)
+    assert degeneracy(g) <= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=50),
+       st.floats(min_value=0.0, max_value=1.0),
+       st.integers(min_value=0, max_value=2**32 - 1))
+def test_gnp_basic_invariants(n, p, seed):
+    g = gnp_random_graph(n, p, rng=seed)
+    assert g.n == n
+    assert 0 <= g.m <= n * (n - 1) // 2
+    # Degree sum identity.
+    assert int(g.degrees().sum()) == 2 * g.m
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=30), st.data())
+def test_gnm_exact_edges(n, data):
+    max_m = n * (n - 1) // 2
+    m = data.draw(st.integers(min_value=0, max_value=max_m))
+    seed = data.draw(st.integers(min_value=0, max_value=2**32 - 1))
+    g = gnm_random_graph(n, m, rng=seed)
+    assert g.m == m
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=25), st.data())
+def test_random_regular_degrees(n, data):
+    d = data.draw(st.integers(min_value=0, max_value=min(n - 1, 8)))
+    if (n * d) % 2 == 1:
+        d -= 1
+    seed = data.draw(st.integers(min_value=0, max_value=2**32 - 1))
+    g = random_regular_graph(n, max(d, 0), rng=seed)
+    assert all(g.degree(u) == max(d, 0) for u in g.vertices())
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=12),
+       st.integers(min_value=1, max_value=12))
+def test_grid_structure(rows, cols):
+    g = gen.grid_graph(rows, cols)
+    assert g.n == rows * cols
+    assert g.m == rows * (cols - 1) + cols * (rows - 1)
+    assert is_connected(g)
+    assert degeneracy(g) <= 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=8),
+       st.integers(min_value=1, max_value=8))
+def test_disjoint_cliques_components(count, size):
+    g = gen.disjoint_cliques(count, size)
+    comps = connected_components(g)
+    assert len(comps) == count
+    assert all(len(c) == size for c in comps)
+    assert g.m == count * size * (size - 1) // 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=7))
+def test_hypercube_structure(dim):
+    g = gen.hypercube_graph(dim)
+    assert g.n == 2 ** dim
+    assert g.m == dim * 2 ** (dim - 1) if dim else g.m == 0
+    if dim >= 1:
+        assert all(g.degree(u) == dim for u in g.vertices())
+        # Bipartite by parity: no edge joins same-parity vertices.
+        for u, v in g.edges():
+            assert bin(u).count("1") % 2 != bin(v).count("1") % 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=40),
+       st.floats(min_value=0.0, max_value=1.0),
+       st.integers(min_value=0, max_value=2**32 - 1))
+def test_gnp_roundtrips_through_numpy_constructor(n, p, seed):
+    # from_numpy_edges output must behave identically to a rebuilt
+    # plain-constructor graph.
+    g = gnp_random_graph(n, p, rng=seed)
+    rebuilt = Graph(n, g.edge_list())
+    assert rebuilt == g
+    assert np.array_equal(rebuilt.degrees(), g.degrees())

@@ -1,0 +1,142 @@
+"""Tests for repro.graphs.generators."""
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.properties import (
+    connected_components,
+    diameter,
+    is_connected,
+)
+
+
+class TestBasicFamilies:
+    def test_empty_graph(self):
+        g = gen.empty_graph(7)
+        assert (g.n, g.m) == (7, 0)
+
+    def test_complete_graph(self):
+        g = gen.complete_graph(6)
+        assert g.m == 15
+        assert g.max_degree() == 5
+        assert diameter(g) == 1
+
+    def test_complete_graph_trivial(self):
+        assert gen.complete_graph(0).n == 0
+        assert gen.complete_graph(1).m == 0
+
+    def test_path_graph(self):
+        g = gen.path_graph(5)
+        assert g.m == 4
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+        assert diameter(g) == 4
+
+    def test_cycle_graph(self):
+        g = gen.cycle_graph(6)
+        assert g.m == 6
+        assert all(g.degree(u) == 2 for u in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            gen.cycle_graph(2)
+
+    def test_star_graph(self):
+        g = gen.star_graph(7)
+        assert g.m == 6
+        assert g.degree(0) == 6
+        assert all(g.degree(u) == 1 for u in range(1, 7))
+
+    def test_complete_bipartite(self):
+        g = gen.complete_bipartite_graph(3, 4)
+        assert g.n == 7
+        assert g.m == 12
+        # No edges within parts.
+        assert not g.has_edge(0, 1)
+        assert not g.has_edge(3, 4)
+
+
+class TestStructuredFamilies:
+    def test_grid_graph(self):
+        g = gen.grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # vertical + horizontal
+        assert g.max_degree() == 4
+
+    def test_grid_degenerate(self):
+        g = gen.grid_graph(1, 5)
+        assert g.m == 4
+
+    def test_hypercube(self):
+        g = gen.hypercube_graph(3)
+        assert g.n == 8
+        assert g.m == 12
+        assert all(g.degree(u) == 3 for u in g.vertices())
+
+    def test_hypercube_dim0(self):
+        assert gen.hypercube_graph(0).n == 1
+
+    def test_balanced_tree(self):
+        g = gen.balanced_tree(2, 3)
+        assert g.n == 15
+        assert g.m == 14
+        assert is_connected(g)
+
+    def test_balanced_tree_height0(self):
+        assert gen.balanced_tree(3, 0).n == 1
+
+    def test_caterpillar(self):
+        g = gen.caterpillar_graph(4, 2)
+        assert g.n == 4 + 8
+        assert g.m == 3 + 8
+        assert is_connected(g)
+
+    def test_petersen(self):
+        g = gen.petersen_graph()
+        assert g.n == 10
+        assert g.m == 15
+        assert all(g.degree(u) == 3 for u in g.vertices())
+        assert diameter(g) == 2
+
+
+class TestCompositeFamilies:
+    def test_disjoint_cliques(self):
+        g = gen.disjoint_cliques(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 6
+        comps = connected_components(g)
+        assert len(comps) == 3
+        assert all(len(c) == 4 for c in comps)
+
+    def test_disjoint_union(self):
+        g = gen.disjoint_union(
+            [gen.complete_graph(3), gen.path_graph(4)]
+        )
+        assert g.n == 7
+        assert g.m == 3 + 3
+        assert len(connected_components(g)) == 2
+
+    def test_disjoint_union_empty_list(self):
+        assert gen.disjoint_union([]).n == 0
+
+    def test_ring_of_cliques(self):
+        g = gen.ring_of_cliques(4, 3)
+        assert g.n == 12
+        assert g.m == 4 * 3 + 4
+        assert is_connected(g)
+
+    def test_ring_of_cliques_validates(self):
+        with pytest.raises(ValueError):
+            gen.ring_of_cliques(2, 3)
+
+    def test_lollipop(self):
+        g = gen.lollipop_graph(4, 3)
+        assert g.n == 7
+        assert g.m == 6 + 3
+        assert is_connected(g)
+
+    def test_barbell(self):
+        g = gen.barbell_graph(3, 2)
+        assert g.n == 8
+        assert g.m == 3 + 3 + 3
+        assert is_connected(g)

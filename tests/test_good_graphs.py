@@ -1,0 +1,171 @@
+"""Tests for repro.graphs.good (Definition 17 checkers)."""
+
+import math
+
+import numpy as np
+
+from repro.graphs import generators as gen
+from repro.graphs.good import (
+    check_good_graph,
+    check_p1_induced_density,
+    check_p2_dominating_degree,
+    check_p3_neighborhood_growth,
+    check_p4_cut_edges,
+    check_p5_common_neighbors,
+    check_p6_diameter,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.random_graphs import gnp_random_graph
+
+
+class TestP1:
+    def test_exhaustive_on_tiny_graph(self):
+        g = gen.complete_graph(5)
+        # K_5 with p = 1: bound is max(8 * 1 * |S|, 4 ln 5) — generous.
+        result = check_p1_induced_density(g, 1.0)
+        assert result.holds
+        assert result.exhaustive
+
+    def test_detects_violation_small_p(self):
+        # K_10 claimed to be G(10, 0.001)-good: avg degree 9 >>
+        # max(8*0.001*10, 4 ln 10) ≈ 9.2... borderline; use K_12.
+        g = gen.complete_graph(12)
+        result = check_p1_induced_density(g, 0.001)
+        assert not result.holds
+
+    def test_sampled_path_ok(self):
+        g = gen.path_graph(100)
+        result = check_p1_induced_density(g, 0.05, rng=0)
+        assert result.holds
+        assert not result.exhaustive
+
+
+class TestP2:
+    def test_vacuous_when_threshold_exceeds_n(self):
+        g = gen.path_graph(20)
+        result = check_p2_dominating_degree(g, 0.01, rng=0)
+        assert result.holds
+        assert result.exhaustive  # vacuous
+
+    def test_dense_gnp_passes(self):
+        g = gnp_random_graph(120, 0.5, rng=1)
+        result = check_p2_dominating_degree(g, 0.5, rng=2)
+        assert result.holds
+
+    def test_empty_graph_fails_when_applicable(self):
+        # Empty graph claimed to be G(n, 0.9)-good: every vertex has 0
+        # neighbours in any S, so P2 must fail for large S.
+        # Need the threshold size well below n so that many outside
+        # vertices (all with 0 neighbours in S) witness the violation.
+        g = Graph(1000)  # threshold 40 ln(1000)/0.9 ≈ 307
+        result = check_p2_dominating_degree(g, 0.9, rng=0)
+        assert not result.holds
+
+    def test_p_zero_vacuous(self):
+        assert check_p2_dominating_degree(Graph(10), 0.0).holds
+
+
+class TestP3:
+    def test_gnp_passes(self):
+        g = gnp_random_graph(100, 0.2, rng=3)
+        result = check_p3_neighborhood_growth(g, 0.2, rng=4, samples=20)
+        assert result.holds
+
+    def test_p_zero_vacuous(self):
+        assert check_p3_neighborhood_growth(Graph(10), 0.0).holds
+
+    def test_slack_makes_small_graphs_pass(self):
+        # 8 ln²(n)/p is enormous for small n; anything passes.
+        g = gen.star_graph(30)
+        assert check_p3_neighborhood_growth(g, 0.5, rng=0).holds
+
+
+class TestP4:
+    def test_gnp_passes(self):
+        g = gnp_random_graph(100, 0.3, rng=5)
+        assert check_p4_cut_edges(g, 0.3, rng=6).holds
+
+    def test_structured_violation_detected(self):
+        # Complete bipartite K_{2,200} claimed good for p where
+        # |T| = 2 <= ln(n)/p: |E(S,T)| = 400 > 6 * 200 * ln(202)?
+        # 6*200*5.3 ≈ 6360 — too big; build a denser violation:
+        # star with huge hub set.  Use K_{5, 2000} with p tuned so
+        # t_cap >= 5: ln(2005)/p >= 5 → p <= 1.5.  |E| = 10000 vs
+        # 6 * 2000 * 7.6 = 91k — still passes.  P4 is hard to violate
+        # with simple graphs (that's the point); check the checker's
+        # arithmetic directly on a crafted tiny case instead by
+        # monkey-level maths: 6 |S| ln n with |S|=1: complete graph
+        # K_2 has 1 edge <= 6 ln 2 ≈ 4.2 — holds.  So just assert the
+        # checker runs and reports sampled coverage.
+        g = gen.complete_bipartite_graph(5, 50)
+        result = check_p4_cut_edges(g, 0.5, rng=0)
+        assert result.checked > 0
+
+    def test_p_zero_vacuous(self):
+        assert check_p4_cut_edges(Graph(10), 0.0).holds
+
+
+class TestP5:
+    def test_exact_pass(self):
+        g = gnp_random_graph(80, 0.1, rng=7)
+        assert check_p5_common_neighbors(g, 0.1).holds
+
+    def test_exact_fail(self):
+        # K_{2,60}: the two hub-side vertices share 60 common neighbours;
+        # bound for p = 0.01, n = 62: max(6*62*0.0001, 4 ln 62) ≈ 16.5.
+        g = gen.complete_bipartite_graph(2, 60)
+        result = check_p5_common_neighbors(g, 0.01)
+        assert not result.holds
+        assert "common" in result.witness
+
+    def test_tiny_graph(self):
+        assert check_p5_common_neighbors(Graph(1), 0.5).holds
+
+
+class TestP6:
+    def test_below_threshold_vacuous(self):
+        g = gen.path_graph(100)  # diameter 99, but p below threshold
+        assert check_p6_diameter(g, 0.01).holds
+
+    def test_above_threshold_diam2_passes(self):
+        n = 60
+        p = 0.8
+        g = gnp_random_graph(n, p, rng=8)
+        assert check_p6_diameter(g, p).holds
+
+    def test_above_threshold_path_fails(self):
+        n = 100
+        p = 2.5 * math.sqrt(math.log(n) / n)
+        g = gen.path_graph(n)
+        result = check_p6_diameter(g, p)
+        assert not result.holds
+
+    def test_disconnected_fails(self):
+        n = 100
+        p = 2.5 * math.sqrt(math.log(n) / n)
+        result = check_p6_diameter(Graph(n), p)
+        assert not result.holds
+        assert result.witness == "disconnected"
+
+
+class TestFullReport:
+    def test_gnp_sample_is_good(self):
+        n, p = 100, 0.3
+        g = gnp_random_graph(n, p, rng=9)
+        report = check_good_graph(g, p, rng=10, samples=15)
+        assert report.all_hold, report.summary()
+        assert report.failed() == []
+        assert set(report.results) == {"P1", "P2", "P3", "P4", "P5", "P6"}
+
+    def test_summary_format(self):
+        g = gnp_random_graph(50, 0.2, rng=11)
+        report = check_good_graph(g, 0.2, rng=12, samples=5)
+        text = report.summary()
+        for name in ("P1", "P5", "P6"):
+            assert name in text
+
+    def test_bad_graph_reported(self):
+        g = gen.complete_bipartite_graph(2, 60)
+        report = check_good_graph(g, 0.01, rng=13, samples=5)
+        assert "P5" in report.failed()
+        assert not report.all_hold

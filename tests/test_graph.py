@@ -1,0 +1,255 @@
+"""Tests for repro.graphs.graph.Graph."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.n == 0
+        assert g.m == 0
+        assert list(g.edges()) == []
+
+    def test_basic_edges(self):
+        g = Graph(4, [(0, 1), (2, 3), (1, 2)])
+        assert g.n == 4
+        assert g.m == 3
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_duplicate_edges_collapsed(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph(3, [(1, 1)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(3, [(0, 3)])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_from_edge_list_infers_n(self):
+        g = Graph.from_edge_list([(0, 5), (2, 3)])
+        assert g.n == 6
+        assert g.m == 2
+
+    def test_from_edge_list_explicit_n(self):
+        g = Graph.from_edge_list([(0, 1)], n=10)
+        assert g.n == 10
+
+    def test_from_adjacency(self):
+        g = Graph.from_adjacency([[1, 2], [0], [0]])
+        assert g.m == 2
+        assert g.has_edge(0, 1)
+        assert g.has_edge(0, 2)
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = Graph(5, [(0, 4), (0, 2), (0, 1)])
+        assert g.neighbors(0) == (1, 2, 4)
+
+    def test_closed_neighborhood(self):
+        g = Graph(4, [(0, 1), (0, 3)])
+        assert g.closed_neighborhood(0) == (0, 1, 3)
+        assert g.closed_neighborhood(2) == (2,)
+
+    def test_degree_and_degrees(self, triangle):
+        assert triangle.degree(0) == 2
+        assert np.array_equal(triangle.degrees(), [2, 2, 2])
+
+    def test_max_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.max_degree() == 3
+        assert Graph(0).max_degree() == 0
+
+    def test_average_degree(self, triangle):
+        assert triangle.average_degree() == 2.0
+        assert Graph(3).average_degree() == 0.0
+
+    def test_edges_ordered(self):
+        g = Graph(4, [(3, 1), (2, 0)])
+        assert sorted(g.edges()) == [(0, 2), (1, 3)]
+
+    def test_common_neighbors(self):
+        g = Graph(5, [(0, 2), (1, 2), (0, 3), (1, 3), (0, 4)])
+        assert g.common_neighbors(0, 1) == (2, 3)
+
+    def test_density(self, triangle):
+        assert triangle.density() == 1.0
+        assert Graph(1).density() == 0.0
+
+    def test_len(self, triangle):
+        assert len(triangle) == 3
+
+
+class TestSetNeighborhoods:
+    def test_neighborhood_of_set(self):
+        g = Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert g.neighborhood_of_set({1, 2}) == {0, 3}
+
+    def test_closed_neighborhood_of_set(self):
+        g = Graph(6, [(0, 1), (1, 2), (2, 3)])
+        assert g.closed_neighborhood_of_set({1}) == {0, 1, 2}
+
+    def test_edges_between_disjoint(self):
+        g = Graph(4, [(0, 2), (0, 3), (1, 2)])
+        assert g.edges_between({0, 1}, {2, 3}) == 3
+
+    def test_edges_between_overlapping_counts_once(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        # E(S, T) with S = {0,1}, T = {1,2}: edges (0,1) and (1,2).
+        assert g.edges_between({0, 1}, {1, 2}) == 2
+
+    def test_induced_edge_count(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert g.induced_edge_count({0, 1, 2}) == 2
+        assert g.induced_edge_count({0, 2}) == 0
+
+
+class TestDerivedGraphs:
+    def test_subgraph_relabels(self):
+        g = Graph(5, [(0, 2), (2, 4), (1, 3)])
+        sub, mapping = g.subgraph([0, 2, 4])
+        assert sub.n == 3
+        assert sub.m == 2
+        assert mapping == {0: 0, 2: 1, 4: 2}
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(1, 2)
+
+    def test_subgraph_deduplicates_input(self):
+        g = Graph(3, [(0, 1)])
+        sub, _ = g.subgraph([1, 0, 1])
+        assert sub.n == 2
+
+    def test_complement(self, triangle):
+        comp = triangle.complement()
+        assert comp.m == 0
+        g = Graph(3, [(0, 1)])
+        assert g.complement().m == 2
+
+    def test_complement_involution(self):
+        g = Graph(6, [(0, 1), (2, 3), (4, 5), (0, 5)])
+        assert g.complement().complement() == g
+
+    def test_with_edges_added(self):
+        g = Graph(3, [(0, 1)])
+        g2 = g.with_edges_added([(1, 2)])
+        assert g2.m == 2
+        assert g.m == 1  # original unchanged
+
+    def test_relabeled(self):
+        g = Graph(3, [(0, 1)])
+        g2 = g.relabeled([2, 1, 0])
+        assert g2.has_edge(2, 1)
+        assert not g2.has_edge(0, 1)
+
+    def test_relabeled_rejects_non_permutation(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.relabeled([0, 0, 1])
+
+
+class TestMatrices:
+    def test_dense_adjacency_symmetric(self, triangle):
+        a = triangle.adjacency_dense()
+        assert np.array_equal(a, a.T)
+        assert a.sum() == 2 * triangle.m
+        assert np.all(np.diag(a) == 0)
+
+    def test_csr_matches_dense(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (0, 5)])
+        assert np.array_equal(
+            g.adjacency_csr().toarray(), g.adjacency_dense()
+        )
+
+    def test_matrices_cached(self, triangle):
+        assert triangle.adjacency_dense() is triangle.adjacency_dense()
+        assert triangle.adjacency_csr() is triangle.adjacency_csr()
+
+
+class TestTraversal:
+    def test_bfs_distances_path(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert np.array_equal(g.bfs_distances(0), [0, 1, 2, 3])
+
+    def test_bfs_unreachable(self):
+        g = Graph(3, [(0, 1)])
+        dist = g.bfs_distances(0)
+        assert dist[2] == -1
+
+    def test_bfs_source_out_of_range(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.bfs_distances(5)
+
+
+class TestEqualityConversion:
+    def test_eq_and_hash(self):
+        g1 = Graph(3, [(0, 1)])
+        g2 = Graph(3, [(1, 0)])
+        g3 = Graph(3, [(0, 2)])
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        assert g1 != g3
+
+    def test_networkx_roundtrip(self, small_zoo):
+        pytest.importorskip("networkx")
+        for g in small_zoo.values():
+            back = Graph.from_networkx(g.to_networkx())
+            assert back == g
+
+    def test_repr(self, triangle):
+        assert "n=3" in repr(triangle)
+        assert "m=3" in repr(triangle)
+
+
+class TestFromNumpyEdges:
+    def test_matches_regular_constructor(self):
+        rng = np.random.default_rng(0)
+        n = 40
+        us = rng.integers(0, n, size=120)
+        vs = rng.integers(0, n, size=120)
+        keep = us != vs
+        us, vs = us[keep], vs[keep]
+        fast = Graph.from_numpy_edges(n, us, vs)
+        slow = Graph(n, list(zip(us.tolist(), vs.tolist())))
+        assert fast == slow
+        assert fast.m == slow.m
+
+    def test_empty_edges(self):
+        g = Graph.from_numpy_edges(5, np.array([]), np.array([]))
+        assert g.n == 5
+        assert g.m == 0
+
+    def test_duplicate_edges_collapsed(self):
+        g = Graph.from_numpy_edges(
+            3, np.array([0, 1, 0]), np.array([1, 0, 1])
+        )
+        assert g.m == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Graph.from_numpy_edges(3, np.array([0]), np.array([3]))
+        with pytest.raises(ValueError):
+            Graph.from_numpy_edges(3, np.array([1]), np.array([1]))
+        with pytest.raises(ValueError):
+            Graph.from_numpy_edges(-1, np.array([]), np.array([]))
+
+    def test_downstream_operations_work(self):
+        g = Graph.from_numpy_edges(
+            4, np.array([0, 1, 2]), np.array([1, 2, 3])
+        )
+        assert g.neighbors(1) == (0, 2)
+        assert g.adjacency_dense().sum() == 6
+        assert g.bfs_distances(0).tolist() == [0, 1, 2, 3]
+        sub, _ = g.subgraph([1, 2, 3])
+        assert sub.m == 2

@@ -1,0 +1,75 @@
+"""Tests for repro.graphs.graph.GraphBuilder."""
+
+import pytest
+
+from repro.graphs.graph import GraphBuilder
+
+
+def test_empty_builder():
+    assert GraphBuilder().build().n == 0
+
+
+def test_add_vertex_returns_index():
+    b = GraphBuilder()
+    assert b.add_vertex() == 0
+    assert b.add_vertex() == 1
+    assert b.n == 2
+
+
+def test_add_vertices_returns_range():
+    b = GraphBuilder(2)
+    r = b.add_vertices(3)
+    assert list(r) == [2, 3, 4]
+    assert b.n == 5
+
+
+def test_add_vertices_negative_rejected():
+    with pytest.raises(ValueError):
+        GraphBuilder().add_vertices(-1)
+
+
+def test_add_edge_chains():
+    g = GraphBuilder(3).add_edge(0, 1).add_edge(1, 2).build()
+    assert g.m == 2
+
+
+def test_add_edge_requires_existing_vertices():
+    with pytest.raises(ValueError):
+        GraphBuilder(2).add_edge(0, 2)
+
+
+def test_add_edge_rejects_self_loop():
+    with pytest.raises(ValueError):
+        GraphBuilder(2).add_edge(1, 1)
+
+
+def test_add_clique():
+    g = GraphBuilder(4).add_clique([0, 1, 2, 3]).build()
+    assert g.m == 6
+
+
+def test_add_path():
+    g = GraphBuilder(4).add_path([0, 1, 2, 3]).build()
+    assert g.m == 3
+    assert g.has_edge(2, 3)
+
+
+def test_add_cycle():
+    g = GraphBuilder(4).add_cycle([0, 1, 2, 3]).build()
+    assert g.m == 4
+    assert g.has_edge(3, 0)
+
+
+def test_add_cycle_too_short():
+    with pytest.raises(ValueError):
+        GraphBuilder(2).add_cycle([0, 1])
+
+
+def test_negative_initial_n():
+    with pytest.raises(ValueError):
+        GraphBuilder(-1)
+
+
+def test_build_is_repeatable():
+    b = GraphBuilder(2).add_edge(0, 1)
+    assert b.build() == b.build()

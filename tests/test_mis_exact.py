@@ -1,0 +1,143 @@
+"""Tests for repro.graphs.mis_exact — and ground-truth checks of the
+processes against the exact enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.core.three_color import ThreeColorMIS
+from repro.core.three_state import ThreeStateMIS
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.mis_exact import (
+    enumerate_maximal_independent_sets,
+    independence_number,
+    independent_domination_number,
+    is_among_maximal_independent_sets,
+    maximum_independent_set,
+)
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.sim.runner import run_until_stable
+
+
+class TestEnumeration:
+    def test_empty_graph(self):
+        assert enumerate_maximal_independent_sets(Graph(0)) == [frozenset()]
+
+    def test_edgeless_graph(self):
+        sets = enumerate_maximal_independent_sets(Graph(3))
+        assert sets == [frozenset({0, 1, 2})]
+
+    def test_single_edge(self):
+        sets = set(enumerate_maximal_independent_sets(Graph(2, [(0, 1)])))
+        assert sets == {frozenset({0}), frozenset({1})}
+
+    def test_triangle(self):
+        sets = set(
+            enumerate_maximal_independent_sets(complete_graph(3))
+        )
+        assert sets == {frozenset({0}), frozenset({1}), frozenset({2})}
+
+    def test_path4_known(self):
+        # P4 (0-1-2-3): maximal independent sets are {0,2}, {0,3}, {1,3}.
+        sets = set(enumerate_maximal_independent_sets(path_graph(4)))
+        assert sets == {
+            frozenset({0, 2}), frozenset({0, 3}), frozenset({1, 3})
+        }
+
+    def test_cycle5_count(self):
+        # C5 has exactly 5 maximal independent sets (all of size 2).
+        sets = enumerate_maximal_independent_sets(cycle_graph(5))
+        assert len(sets) == 5
+        assert all(len(s) == 2 for s in sets)
+
+    def test_all_results_are_maximal_independent(self):
+        from repro.core.verify import is_maximal_independent_set
+
+        for g in (
+            petersen_graph(),
+            gnp_random_graph(14, 0.3, rng=1),
+            star_graph(7),
+        ):
+            for s in enumerate_maximal_independent_sets(g):
+                assert is_maximal_independent_set(g, sorted(s))
+
+
+class TestExtremalSizes:
+    def test_independence_number_known(self):
+        assert independence_number(complete_graph(7)) == 1
+        assert independence_number(path_graph(5)) == 3
+        assert independence_number(cycle_graph(6)) == 3
+        assert independence_number(cycle_graph(7)) == 3
+        assert independence_number(petersen_graph()) == 4
+        assert independence_number(Graph(4)) == 4
+
+    def test_maximum_set_is_independent(self):
+        from repro.core.verify import is_independent_set
+
+        g = gnp_random_graph(18, 0.25, rng=2)
+        s = maximum_independent_set(g)
+        assert is_independent_set(g, sorted(s))
+
+    def test_max_matches_enumeration(self):
+        for seed in range(3):
+            g = gnp_random_graph(13, 0.3, rng=seed)
+            alpha = independence_number(g)
+            best = max(
+                len(s) for s in enumerate_maximal_independent_sets(g)
+            )
+            assert alpha == best
+
+    def test_independent_domination_number(self):
+        assert independent_domination_number(star_graph(6)) == 1
+        assert independent_domination_number(path_graph(4)) == 2
+        assert independent_domination_number(complete_graph(5)) == 1
+
+
+class TestProcessesAgainstGroundTruth:
+    @pytest.mark.parametrize(
+        "process_factory",
+        [
+            lambda g, s: TwoStateMIS(g, coins=s),
+            lambda g, s: ThreeStateMIS(g, coins=s),
+            lambda g, s: ThreeColorMIS(g, coins=s, a=8.0),
+        ],
+        ids=["2-state", "3-state", "3-color"],
+    )
+    def test_output_is_an_exact_maximal_independent_set(
+        self, process_factory
+    ):
+        for seed in range(4):
+            g = gnp_random_graph(12, 0.25, rng=seed)
+            proc = process_factory(g, seed + 10)
+            result = run_until_stable(proc, max_rounds=200_000)
+            assert result.stabilized
+            assert is_among_maximal_independent_sets(g, result.mis)
+
+    def test_size_within_exact_bounds(self):
+        g = gnp_random_graph(14, 0.3, rng=5)
+        lo = independent_domination_number(g)
+        hi = independence_number(g)
+        for seed in range(6):
+            result = run_until_stable(
+                TwoStateMIS(g, coins=seed), max_rounds=200_000
+            )
+            assert lo <= len(result.mis) <= hi
+
+    def test_process_reaches_multiple_sets(self):
+        # Randomness should spread outcomes across several of the
+        # maximal independent sets, not lock onto one.
+        g = cycle_graph(7)
+        outcomes = set()
+        for seed in range(30):
+            result = run_until_stable(
+                TwoStateMIS(g, coins=seed), max_rounds=200_000
+            )
+            outcomes.add(frozenset(result.mis.tolist()))
+        assert len(outcomes) >= 3

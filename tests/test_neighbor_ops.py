@@ -1,0 +1,111 @@
+"""Tests for repro.core.neighbor_ops: the three backends must agree."""
+
+import numpy as np
+import pytest
+
+from repro.core.neighbor_ops import (
+    AdjListNeighborOps,
+    DenseNeighborOps,
+    SparseNeighborOps,
+    make_neighbor_ops,
+)
+from repro.graphs.generators import complete_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.graphs.random_graphs import gnp_random_graph
+
+BACKENDS = [DenseNeighborOps, SparseNeighborOps, AdjListNeighborOps]
+
+
+@pytest.fixture(params=BACKENDS, ids=["dense", "sparse", "adjlist"])
+def backend_cls(request):
+    return request.param
+
+
+class TestCount:
+    def test_count_star(self, backend_cls):
+        g = star_graph(5)
+        ops = backend_cls(g)
+        mask = np.array([False, True, True, False, False])
+        counts = ops.count(mask)
+        assert counts[0] == 2  # hub sees both marked leaves
+        assert counts[1] == 0  # leaf sees unmarked hub
+        mask_hub = np.array([True, False, False, False, False])
+        counts = ops.count(mask_hub)
+        assert counts[0] == 0
+        assert np.all(counts[1:] == 1)
+
+    def test_count_all_marked_clique(self, backend_cls):
+        g = complete_graph(6)
+        ops = backend_cls(g)
+        counts = ops.count(np.ones(6, dtype=bool))
+        assert np.all(counts == 5)
+
+    def test_count_none_marked(self, backend_cls):
+        g = complete_graph(4)
+        ops = backend_cls(g)
+        assert np.all(ops.count(np.zeros(4, dtype=bool)) == 0)
+
+    def test_exists_matches_count(self, backend_cls):
+        g = gnp_random_graph(40, 0.2, rng=1)
+        ops = backend_cls(g)
+        rng = np.random.default_rng(2)
+        mask = rng.random(40) < 0.3
+        assert np.array_equal(ops.exists(mask), ops.count(mask) > 0)
+
+
+class TestMaxClosed:
+    def test_max_closed_includes_self(self, backend_cls):
+        g = Graph(3, [(0, 1)])
+        ops = backend_cls(g)
+        values = np.array([5, 1, 3])
+        out = ops.max_closed(values)
+        assert out[0] == 5  # self
+        assert out[1] == 5  # neighbour 0
+        assert out[2] == 3  # isolated
+
+    def test_max_closed_levels(self, backend_cls):
+        g = complete_graph(5)
+        ops = backend_cls(g)
+        values = np.array([0, 1, 2, 3, 4])
+        assert np.all(ops.max_closed(values) == 4)
+
+
+class TestCrossBackendAgreement:
+    def test_all_backends_agree(self):
+        g = gnp_random_graph(60, 0.15, rng=3)
+        rng = np.random.default_rng(4)
+        mask = rng.random(60) < 0.4
+        values = rng.integers(0, 6, size=60)
+        results_count = []
+        results_max = []
+        for cls in BACKENDS:
+            ops = cls(g)
+            results_count.append(np.asarray(ops.count(mask)))
+            results_max.append(np.asarray(ops.max_closed(values)))
+        for other in results_count[1:]:
+            assert np.array_equal(results_count[0], other)
+        for other in results_max[1:]:
+            assert np.array_equal(results_max[0], other)
+
+
+class TestFactory:
+    def test_explicit_backends(self):
+        g = complete_graph(4)
+        assert isinstance(make_neighbor_ops(g, "dense"), DenseNeighborOps)
+        assert isinstance(make_neighbor_ops(g, "sparse"), SparseNeighborOps)
+        assert isinstance(
+            make_neighbor_ops(g, "adjlist"), AdjListNeighborOps
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            make_neighbor_ops(complete_graph(3), "gpu")
+
+    def test_auto_small_graph_dense(self):
+        assert isinstance(
+            make_neighbor_ops(complete_graph(50), "auto"), DenseNeighborOps
+        )
+
+    def test_auto_large_sparse_graph_sparse(self):
+        g = gnp_random_graph(5000, 0.0005, rng=5)
+        assert isinstance(make_neighbor_ops(g, "auto"), SparseNeighborOps)

@@ -1,0 +1,138 @@
+"""Tests for repro.graphs.random_graphs."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import random_graphs as rg
+from repro.graphs.properties import is_connected
+
+
+class TestGnp:
+    def test_p_zero(self):
+        assert rg.gnp_random_graph(50, 0.0, rng=0).m == 0
+
+    def test_p_one_is_complete(self):
+        g = rg.gnp_random_graph(20, 1.0, rng=0)
+        assert g.m == 190
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            rg.gnp_random_graph(10, 1.5)
+        with pytest.raises(ValueError):
+            rg.gnp_random_graph(10, -0.1)
+
+    def test_reproducible(self):
+        g1 = rg.gnp_random_graph(100, 0.1, rng=42)
+        g2 = rg.gnp_random_graph(100, 0.1, rng=42)
+        assert g1 == g2
+
+    def test_edge_count_concentrates(self):
+        # E[m] = p * C(n,2); check within 5 sigma.
+        n, p = 300, 0.1
+        expected = p * n * (n - 1) / 2
+        sigma = np.sqrt(expected * (1 - p))
+        g = rg.gnp_random_graph(n, p, rng=7)
+        assert abs(g.m - expected) < 5 * sigma
+
+    def test_degree_distribution_mean(self):
+        n, p = 400, 0.05
+        g = rg.gnp_random_graph(n, p, rng=3)
+        assert abs(g.average_degree() - p * (n - 1)) < 2.0
+
+    def test_small_n(self):
+        assert rg.gnp_random_graph(0, 0.5, rng=0).n == 0
+        assert rg.gnp_random_graph(1, 0.5, rng=0).m == 0
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = rg.gnm_random_graph(30, 50, rng=0)
+        assert g.m == 50
+
+    def test_extremes(self):
+        assert rg.gnm_random_graph(10, 0, rng=0).m == 0
+        assert rg.gnm_random_graph(10, 45, rng=0).m == 45
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            rg.gnm_random_graph(5, 11)
+
+    def test_no_duplicate_edges(self):
+        g = rg.gnm_random_graph(20, 100, rng=5)
+        assert g.m == 100  # Graph collapses duplicates; count must survive
+
+
+class TestRandomTree:
+    def test_is_tree(self):
+        for seed in range(5):
+            g = rg.random_tree(50, rng=seed)
+            assert g.m == 49
+            assert is_connected(g)
+
+    def test_small_cases(self):
+        assert rg.random_tree(0).n == 0
+        assert rg.random_tree(1).m == 0
+        assert rg.random_tree(2).m == 1
+        g3 = rg.random_tree(3, rng=0)
+        assert g3.m == 2
+        assert is_connected(g3)
+
+    def test_reproducible(self):
+        assert rg.random_tree(40, rng=9) == rg.random_tree(40, rng=9)
+
+    def test_prufer_uniformity_smoke(self):
+        # Over labelled trees on 3 vertices there are 3 shapes (choice of
+        # center); check all appear.
+        centers = set()
+        for seed in range(60):
+            g = rg.random_tree(3, rng=seed)
+            center = max(g.vertices(), key=g.degree)
+            centers.add(center)
+        assert centers == {0, 1, 2}
+
+
+class TestRandomRegular:
+    @pytest.mark.parametrize("n,d", [(10, 3), (20, 4), (50, 2), (64, 7)])
+    def test_regularity(self, n, d):
+        g = rg.random_regular_graph(n, d, rng=1)
+        assert all(g.degree(u) == d for u in g.vertices())
+        assert g.m == n * d // 2
+
+    def test_d_zero(self):
+        assert rg.random_regular_graph(5, 0).m == 0
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(ValueError):
+            rg.random_regular_graph(5, 3)
+
+    def test_d_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            rg.random_regular_graph(4, 4)
+
+    def test_no_self_loops_or_multiedges_many_seeds(self):
+        for seed in range(10):
+            g = rg.random_regular_graph(30, 6, rng=seed)
+            assert all(g.degree(u) == 6 for u in g.vertices())
+
+
+class TestBipartiteAndPlanted:
+    def test_bipartite_no_intra_part_edges(self):
+        g = rg.random_bipartite_graph(10, 15, 0.3, rng=0)
+        for u in range(10):
+            for v in range(10):
+                assert not g.has_edge(u, v) or u == v
+        assert g.n == 25
+
+    def test_bipartite_p_extremes(self):
+        assert rg.random_bipartite_graph(5, 5, 0.0, rng=0).m == 0
+        assert rg.random_bipartite_graph(5, 5, 1.0, rng=0).m == 25
+
+    def test_planted_partition_block_structure(self):
+        g = rg.planted_partition_graph([20, 20], 0.9, 0.01, rng=3)
+        intra = g.induced_edge_count(range(20))
+        inter = g.edges_between(range(20), range(20, 40))
+        assert intra > inter
+
+    def test_planted_partition_validates(self):
+        with pytest.raises(ValueError):
+            rg.planted_partition_graph([5, 5], 1.5, 0.1)

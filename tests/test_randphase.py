@@ -1,0 +1,175 @@
+"""Tests for the generalized RandPhase clock (repro.core.randphase)."""
+
+import numpy as np
+import pytest
+
+from repro.core.randphase import RandPhaseClock, phase_lengths
+from repro.core.switch import RandomizedLogSwitch
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.sim.rng import ScriptedCoins
+
+
+class TestConstruction:
+    def test_state_count(self):
+        clock = RandPhaseClock(path_graph(4), d=5, coins=0)
+        assert clock.state_count == 8  # D + 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandPhaseClock(path_graph(3), d=0)
+        with pytest.raises(ValueError):
+            RandPhaseClock(path_graph(3), d=2, zeta=0.9)
+
+    def test_init_strings(self):
+        g = path_graph(3)
+        assert np.all(
+            RandPhaseClock(g, d=2, coins=0, init="all_top").levels == 4
+        )
+        assert np.all(
+            RandPhaseClock(g, d=2, coins=0, init="all_zero").levels == 0
+        )
+
+    def test_init_array_validated(self):
+        with pytest.raises(ValueError):
+            RandPhaseClock(
+                path_graph(3), d=2, coins=0,
+                init=np.array([0, 1, 9]),
+            )
+
+
+class TestRule:
+    def test_zero_resets_to_top(self):
+        clock = RandPhaseClock(
+            Graph(1), d=3, coins=ScriptedCoins([[False]]),
+            init=np.array([0]),
+        )
+        clock.step()
+        assert clock.levels[0] == clock.top
+
+    def test_top_stays_without_coin(self):
+        clock = RandPhaseClock(
+            Graph(1), d=3, coins=ScriptedCoins([[False]]),
+            init="all_top",
+        )
+        clock.step()
+        assert clock.levels[0] == clock.top
+
+    def test_top_descends_with_coin(self):
+        clock = RandPhaseClock(
+            Graph(1), d=3, coins=ScriptedCoins([[True]]),
+            init="all_top",
+        )
+        clock.step()
+        assert clock.levels[0] == clock.top - 1
+
+    def test_countdown(self):
+        clock = RandPhaseClock(
+            Graph(1), d=4, coins=ScriptedCoins([[False]] * 5),
+            init=np.array([5]),
+        )
+        observed = []
+        for _ in range(5):
+            clock.step()
+            observed.append(int(clock.levels[0]))
+        assert observed == [4, 3, 2, 1, 0]
+
+    def test_neighborhood_max_pull(self):
+        g = Graph(2, [(0, 1)])
+        clock = RandPhaseClock(
+            g, d=3, coins=ScriptedCoins([[False, False]]),
+            init=np.array([1, 4]),
+        )
+        clock.step()
+        assert clock.levels.tolist() == [3, 3]
+
+    def test_top_vertex_ignores_neighbors_without_coin(self):
+        # A top-level vertex dwells regardless of neighbour levels.
+        g = Graph(2, [(0, 1)])
+        clock = RandPhaseClock(
+            g, d=3, coins=ScriptedCoins([[False, False]]),
+            init=np.array([1, 5]),
+        )
+        clock.step()
+        assert clock.levels.tolist() == [4, 5]
+
+
+class TestEquivalenceWithSwitch:
+    def test_d3_matches_randomized_log_switch(self):
+        # Definition 26 IS RandPhase with D = 3; verify trajectory
+        # equality level-for-level under shared coins.
+        g = star_graph(8)
+        init = np.array([5, 0, 1, 2, 3, 4, 5, 2], dtype=np.int8)
+        switch = RandomizedLogSwitch(
+            g, coins=77, zeta=0.25, init=init.copy()
+        )
+        clock = RandPhaseClock(
+            g, d=3, coins=77, zeta=0.25, init=init.astype(np.int16)
+        )
+        for _ in range(60):
+            switch.step()
+            clock.step()
+            assert np.array_equal(
+                switch.levels.astype(np.int16), clock.levels
+            )
+
+    def test_phase_indicator_matches_sigma_for_d3(self):
+        # Both must be created with explicit inits so their coin streams
+        # stay aligned (random init consumes extra draws).
+        g = complete_graph(6)
+        init = np.array([0, 1, 2, 3, 4, 5], dtype=np.int8)
+        switch = RandomizedLogSwitch(g, coins=5, zeta=0.25, init=init.copy())
+        clock = RandPhaseClock(
+            g, d=3, coins=5, zeta=0.25, init=init.astype(np.int16)
+        )
+        for _ in range(40):
+            assert np.array_equal(switch.sigma(), clock.phase_indicator())
+            switch.step()
+            clock.step()
+
+
+class TestSynchronization:
+    @staticmethod
+    def _zero_arrivals_simultaneous(clock, warmup: int, rounds: int) -> bool:
+        """Lemma 27's synchronization invariant: after warm-up, whenever
+        some vertex sits at level 0, *all* vertices do."""
+        for _ in range(warmup):
+            clock.step()
+        observed_zero = False
+        for _ in range(rounds):
+            clock.step()
+            at_zero = clock.levels == 0
+            if at_zero.any():
+                observed_zero = True
+                if not at_zero.all():
+                    return False
+        return observed_zero
+
+    def test_clique_synchronizes(self):
+        clock = RandPhaseClock(complete_graph(12), d=1, coins=3, zeta=0.25)
+        assert self._zero_arrivals_simultaneous(clock, warmup=30, rounds=200)
+
+    def test_path_with_adequate_d_synchronizes(self):
+        g = path_graph(6)  # diameter 5
+        clock = RandPhaseClock(g, d=5, coins=4, zeta=0.25)
+        assert self._zero_arrivals_simultaneous(clock, warmup=60, rounds=400)
+
+    def test_phase_lengths_scale_with_zeta(self):
+        # Smaller ζ → longer dwell at the top → longer phases.
+        g = complete_graph(10)
+        short = phase_lengths(
+            RandPhaseClock(g, d=2, coins=6, zeta=0.5), rounds=600
+        )
+        long = phase_lengths(
+            RandPhaseClock(g, d=2, coins=6, zeta=0.0625), rounds=600
+        )
+        assert short and long
+        assert np.mean(long) > np.mean(short)
+
+    def test_phase_lengths_at_least_cycle_length(self):
+        # A full phase includes the descent D+2 → 0, so gaps are > D.
+        g = complete_graph(8)
+        lengths = phase_lengths(
+            RandPhaseClock(g, d=2, coins=7, zeta=0.25), rounds=500
+        )
+        assert all(length > 2 for length in lengths)

@@ -1,0 +1,90 @@
+"""Tests for repro.sim.rng."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import (
+    ScriptedCoins,
+    SeededCoins,
+    as_coin_source,
+    spawn_seeds,
+)
+
+
+class TestSeededCoins:
+    def test_bits_shape_and_dtype(self):
+        coins = SeededCoins(0)
+        bits = coins.bits(100)
+        assert bits.shape == (100,)
+        assert bits.dtype == bool
+
+    def test_reproducible(self):
+        a = SeededCoins(42).bits(50)
+        b = SeededCoins(42).bits(50)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = SeededCoins(1).bits(200)
+        b = SeededCoins(2).bits(200)
+        assert not np.array_equal(a, b)
+
+    def test_bits_fair(self):
+        bits = SeededCoins(3).bits(20_000)
+        assert abs(bits.mean() - 0.5) < 0.02
+
+    def test_bernoulli_rate(self):
+        draws = SeededCoins(4).bernoulli(20_000, 0.1)
+        assert abs(draws.mean() - 0.1) < 0.02
+
+    def test_bernoulli_validates(self):
+        with pytest.raises(ValueError):
+            SeededCoins(0).bernoulli(10, 1.5)
+
+    def test_wraps_existing_generator(self):
+        gen = np.random.default_rng(5)
+        coins = SeededCoins(gen)
+        assert coins.generator is gen
+
+
+class TestScriptedCoins:
+    def test_replays_in_order(self):
+        coins = ScriptedCoins([[True, False], [False, False]])
+        assert coins.bits(2).tolist() == [True, False]
+        assert coins.bernoulli(2, 0.9).tolist() == [False, False]
+        assert coins.draws_consumed == 2
+
+    def test_exhaustion_raises(self):
+        coins = ScriptedCoins([[True]])
+        coins.bits(1)
+        with pytest.raises(IndexError):
+            coins.bits(1)
+
+    def test_shape_mismatch_raises(self):
+        coins = ScriptedCoins([[True, False]])
+        with pytest.raises(ValueError):
+            coins.bits(3)
+
+
+class TestAsCoinSource:
+    def test_passthrough(self):
+        coins = SeededCoins(0)
+        assert as_coin_source(coins) is coins
+
+    def test_seed_coercion(self):
+        assert isinstance(as_coin_source(7), SeededCoins)
+        assert isinstance(as_coin_source(None), SeededCoins)
+
+
+class TestSpawnSeeds:
+    def test_count_and_reproducibility(self):
+        seeds = spawn_seeds(0, 10)
+        assert len(seeds) == 10
+        assert seeds == spawn_seeds(0, 10)
+
+    def test_distinct(self):
+        seeds = spawn_seeds(1, 100)
+        assert len(set(seeds)) == 100
+
+    def test_prefix_stability(self):
+        # The first k seeds don't depend on the total count.
+        assert spawn_seeds(2, 5) == spawn_seeds(2, 10)[:5]

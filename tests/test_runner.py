@@ -1,0 +1,137 @@
+"""Tests for repro.sim.runner and repro.sim.trace."""
+
+import numpy as np
+import pytest
+
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.sim.runner import run_until_stable
+from repro.sim.trace import TraceRecorder
+
+
+class TestRunUntilStable:
+    def test_already_stable_returns_zero(self):
+        g = path_graph(3)
+        proc = TwoStateMIS(g, coins=0, init=np.array([False, True, False]))
+        result = run_until_stable(proc)
+        assert result.stabilized
+        assert result.stabilization_round == 0
+        assert result.rounds_executed == 0
+        assert result.mis.tolist() == [1]
+
+    def test_budget_exhaustion(self):
+        g = complete_graph(30)
+        proc = TwoStateMIS(g, coins=0, init="all_black")
+        result = run_until_stable(proc, max_rounds=0)
+        assert not result.stabilized
+        assert result.stabilization_round is None
+        assert result.mis is None
+
+    def test_exact_stabilization_round(self):
+        # Re-run the same seed twice; with check_every=1 the reported
+        # round must be the first stable round: stepping a fresh copy
+        # that many rounds is stable, one fewer is not.
+        g = complete_graph(12)
+        result = run_until_stable(TwoStateMIS(g, coins=9))
+        t = result.stabilization_round
+        assert t is not None and t > 0
+        probe = TwoStateMIS(g, coins=9)
+        probe.step(t - 1)
+        assert not probe.is_stabilized()
+        probe.step(1)
+        assert probe.is_stabilized()
+
+    def test_check_every_overshoots_boundedly(self):
+        g = complete_graph(12)
+        exact = run_until_stable(TwoStateMIS(g, coins=9)).stabilization_round
+        coarse = run_until_stable(
+            TwoStateMIS(g, coins=9), check_every=5
+        ).stabilization_round
+        assert exact <= coarse < exact + 5
+
+    def test_invalid_args(self):
+        proc = TwoStateMIS(path_graph(3), coins=0)
+        with pytest.raises(ValueError):
+            run_until_stable(proc, max_rounds=-1)
+        with pytest.raises(ValueError):
+            run_until_stable(proc, check_every=0)
+
+    def test_verify_flag(self):
+        g = star_graph(8)
+        result = run_until_stable(TwoStateMIS(g, coins=1), verify=True)
+        assert result.stabilized  # assert_valid_mis did not raise
+
+    def test_continues_from_current_round(self):
+        g = complete_graph(16)
+        proc = TwoStateMIS(g, coins=2, init="all_black")
+        proc.step(3)
+        result = run_until_stable(proc, max_rounds=10_000)
+        # stabilization_round counts from where the runner started.
+        assert result.stabilized
+        assert proc.round == 3 + result.rounds_executed
+
+
+class TestTraceRecording:
+    def test_trace_lengths(self):
+        g = complete_graph(10)
+        result = run_until_stable(
+            TwoStateMIS(g, coins=3), record_trace=True
+        )
+        trace = result.trace
+        assert trace is not None
+        # One snapshot for the initial state + one per executed round.
+        assert trace.rounds == result.rounds_executed + 1
+        arrays = trace.as_arrays()
+        assert set(arrays) == {"black", "active", "stable_black", "unstable"}
+
+    def test_unstable_curve_ends_at_zero(self):
+        g = star_graph(12)
+        result = run_until_stable(
+            TwoStateMIS(g, coins=4), record_trace=True
+        )
+        assert result.trace.unstable_counts[-1] == 0
+
+    def test_unstable_monotone_nonincreasing(self):
+        # Stable vertices stay stable, so |V_t| never increases.
+        g = complete_graph(20)
+        result = run_until_stable(
+            TwoStateMIS(g, coins=5), record_trace=True
+        )
+        curve = result.trace.unstable_counts
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+    def test_state_recording(self):
+        g = path_graph(5)
+        result = run_until_stable(
+            TwoStateMIS(g, coins=6), record_states=True
+        )
+        vectors = result.trace.state_vectors
+        assert vectors is not None
+        assert len(vectors) == result.rounds_executed + 1
+        assert all(v.shape == (5,) for v in vectors)
+
+    def test_recorder_standalone(self):
+        recorder = TraceRecorder()
+        proc = TwoStateMIS(path_graph(4), coins=7)
+        recorder.snapshot(proc)
+        proc.step()
+        recorder.snapshot(proc)
+        assert recorder.trace.rounds == 2
+
+
+class TestRunMethodOnProcess:
+    def test_process_run_shortcut(self):
+        g = path_graph(6)
+        result = TwoStateMIS(g, coins=8).run(max_rounds=10_000)
+        assert result.stabilized
+
+    def test_single_vertex_graph(self):
+        result = TwoStateMIS(Graph(1), coins=0).run()
+        assert result.stabilized
+        assert result.mis.tolist() == [0]
+
+    def test_empty_graph(self):
+        result = TwoStateMIS(Graph(0), coins=0).run()
+        assert result.stabilized
+        assert result.mis.size == 0

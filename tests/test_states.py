@@ -1,0 +1,84 @@
+"""Tests for repro.core.states validators and encodings."""
+
+import numpy as np
+import pytest
+
+from repro.core import states
+
+
+class TestEncodings:
+    def test_distinct_values(self):
+        assert len({states.WHITE, states.GRAY, states.BLACK}) == 3
+        assert len({states.WHITE, states.BLACK0, states.BLACK1}) == 3
+
+    def test_name_tables(self):
+        assert states.TWO_STATE_NAMES[True] == "black"
+        assert states.THREE_STATE_NAMES[states.BLACK1] == "black1"
+        assert states.THREE_COLOR_NAMES[states.GRAY] == "gray"
+
+    def test_switch_constants(self):
+        assert states.SWITCH_LEVELS == 6
+        assert states.SWITCH_ON_MAX_LEVEL == 2
+
+
+class TestTwoStateValidator:
+    def test_bool_passthrough_copies(self):
+        arr = np.array([True, False])
+        out = states.validate_two_state(arr, 2)
+        assert out.dtype == bool
+        out[0] = False
+        assert arr[0]  # original untouched
+
+    def test_int01_coerced(self):
+        out = states.validate_two_state(np.array([0, 1, 1]), 3)
+        assert out.dtype == bool
+        assert out.tolist() == [False, True, True]
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            states.validate_two_state(np.array([0, 2]), 2)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            states.validate_two_state(np.array([True]), 2)
+
+
+class TestThreeStateValidator:
+    def test_valid(self):
+        arr = np.array([0, 1, 2])
+        out = states.validate_three_state(arr, 3)
+        assert out.dtype == np.int8
+
+    def test_out_of_alphabet(self):
+        with pytest.raises(ValueError):
+            states.validate_three_state(np.array([0, 3]), 2)
+
+    def test_shape(self):
+        with pytest.raises(ValueError):
+            states.validate_three_state(np.array([0]), 2)
+
+
+class TestThreeColorValidator:
+    def test_valid(self):
+        out = states.validate_three_color(
+            np.array([states.WHITE, states.GRAY, states.BLACK]), 3
+        )
+        assert out.dtype == np.int8
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            states.validate_three_color(np.array([5, 0]), 2)
+
+
+class TestSwitchValidator:
+    def test_all_levels_accepted(self):
+        out = states.validate_switch_levels(np.arange(6), 6)
+        assert out.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_level_six_rejected(self):
+        with pytest.raises(ValueError):
+            states.validate_switch_levels(np.array([6]), 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            states.validate_switch_levels(np.array([-1]), 1)

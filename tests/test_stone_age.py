@@ -1,0 +1,123 @@
+"""Tests for the stone age model (repro.models.stone_age)."""
+
+import numpy as np
+import pytest
+
+from repro.core.states import BLACK0, BLACK1, WHITE
+from repro.core.three_state import ThreeStateMIS
+from repro.core.verify import is_maximal_independent_set
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.models.stone_age import (
+    CHANNEL_BLACK,
+    CHANNEL_BLACK1,
+    StoneAgeNetwork,
+    StoneAgeThreeStateMIS,
+    ThreeStateStoneAgeNode,
+)
+from repro.sim.runner import run_until_stable
+
+
+class TestNetwork:
+    def test_per_channel_delivery(self):
+        g = path_graph(3)
+        net = StoneAgeNetwork(g)
+        heard = net.deliver([CHANNEL_BLACK1, None, CHANNEL_BLACK])
+        assert heard[1, CHANNEL_BLACK1]
+        assert heard[1, CHANNEL_BLACK]
+        assert not heard[0, CHANNEL_BLACK1]  # no self-hearing
+        assert heard[0, CHANNEL_BLACK] == False  # vertex 2 not adjacent to 0
+
+    def test_emission_validation(self):
+        net = StoneAgeNetwork(path_graph(2))
+        with pytest.raises(ValueError):
+            net.deliver([0])
+        with pytest.raises(ValueError):
+            net.deliver([7, None])
+
+
+class TestNode:
+    def test_emissions(self):
+        assert ThreeStateStoneAgeNode(BLACK1).emit() == CHANNEL_BLACK1
+        assert ThreeStateStoneAgeNode(BLACK0).emit() == CHANNEL_BLACK
+        assert ThreeStateStoneAgeNode(WHITE).emit() is None
+
+    def test_invalid_state(self):
+        with pytest.raises(ValueError):
+            ThreeStateStoneAgeNode(7)
+
+    def test_black1_rerandomizes(self):
+        node = ThreeStateStoneAgeNode(BLACK1)
+        node.observe(True, True, coin=False)
+        assert node.state == BLACK0
+
+    def test_black0_retreats_on_black1(self):
+        node = ThreeStateStoneAgeNode(BLACK0)
+        node.observe(True, True, coin=True)
+        assert node.state == WHITE
+
+    def test_black0_rerandomizes_without_black1(self):
+        node = ThreeStateStoneAgeNode(BLACK0)
+        node.observe(False, True, coin=True)
+        assert node.state == BLACK1
+
+    def test_white_joins_on_silence(self):
+        node = ThreeStateStoneAgeNode(WHITE)
+        node.observe(False, False, coin=False)
+        assert node.state == BLACK0
+
+    def test_white_stays_on_black_tone(self):
+        node = ThreeStateStoneAgeNode(WHITE)
+        node.observe(False, True, coin=True)
+        assert node.state == WHITE
+
+
+class TestExecution:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: complete_graph(10),
+            lambda: path_graph(12),
+            lambda: star_graph(8),
+        ],
+        ids=["clique", "path", "star"],
+    )
+    def test_equivalent_to_abstract_three_state(self, graph_factory):
+        graph = graph_factory()
+        seed = 17
+        abstract = ThreeStateMIS(graph, coins=seed)
+        stone = StoneAgeThreeStateMIS(graph, coins=seed)
+        assert np.array_equal(abstract.state_vector(), stone.state_vector())
+        for _ in range(50):
+            abstract.step()
+            stone.step()
+            assert np.array_equal(
+                abstract.state_vector(), stone.state_vector()
+            )
+
+    def test_stabilizes_on_suite(self, small_zoo):
+        for seed, g in enumerate(small_zoo.values()):
+            proc = StoneAgeThreeStateMIS(g, coins=seed)
+            result = run_until_stable(proc, max_rounds=50_000)
+            assert result.stabilized
+            assert is_maximal_independent_set(g, result.mis)
+
+    def test_active_mask_matches_abstract(self):
+        graph = star_graph(7)
+        seed = 23
+        abstract = ThreeStateMIS(graph, coins=seed)
+        stone = StoneAgeThreeStateMIS(graph, coins=seed)
+        for _ in range(20):
+            assert np.array_equal(
+                abstract.active_mask(), stone.active_mask()
+            )
+            abstract.step()
+            stone.step()
+
+    def test_corrupt_and_recover(self):
+        g = complete_graph(8)
+        proc = StoneAgeThreeStateMIS(g, coins=3)
+        run_until_stable(proc, max_rounds=50_000)
+        proc.corrupt(np.full(8, BLACK1, dtype=np.int8))
+        recovery = run_until_stable(proc, max_rounds=50_000)
+        assert recovery.stabilized
+        assert len(recovery.mis) == 1

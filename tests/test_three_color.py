@@ -1,0 +1,203 @@
+"""Tests for the 3-color MIS process (Definition 28)."""
+
+import numpy as np
+import pytest
+
+from repro.core.states import BLACK, GRAY, WHITE
+from repro.core.switch import OracleSwitch, RandomizedLogSwitch
+from repro.core.three_color import ThreeColorMIS
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.sim.rng import ScriptedCoins
+from repro.sim.runner import run_until_stable
+
+
+def always_on(n):
+    """An oracle switch that is permanently on."""
+    return OracleSwitch(n, on_run=1, off_run=0)
+
+
+def always_off(n):
+    """An oracle switch that is on only 1 round in a huge period."""
+    switch = OracleSwitch(n, on_run=1, off_run=10**6)
+    switch.round = 1  # move past the on round
+    return switch
+
+
+class TestInitialization:
+    def test_explicit_init(self):
+        init = np.array([WHITE, GRAY, BLACK], dtype=np.int8)
+        proc = ThreeColorMIS(
+            path_graph(3), coins=0, init=init, switch=always_on(3)
+        )
+        assert np.array_equal(proc.state_vector(), init)
+
+    def test_init_strings(self):
+        for name, value in (
+            ("all_black", BLACK), ("all_white", WHITE), ("all_gray", GRAY)
+        ):
+            proc = ThreeColorMIS(
+                path_graph(3), coins=0, init=name, switch=always_on(3)
+            )
+            assert np.all(proc.state_vector() == value)
+
+    def test_default_switch_is_randomized(self):
+        proc = ThreeColorMIS(path_graph(3), coins=0)
+        assert isinstance(proc.switch, RandomizedLogSwitch)
+        assert proc.switch.zeta == pytest.approx(4.0 / 512.0)
+
+    def test_state_count_is_18(self):
+        assert ThreeColorMIS.state_count == 18
+
+
+class TestUpdateRule:
+    def test_conflicted_black_goes_gray_not_white(self):
+        g = Graph(2, [(0, 1)])
+        proc = ThreeColorMIS(
+            g, coins=ScriptedCoins([[False, False]]),
+            init="all_black", switch=always_off(2),
+        )
+        proc.step()
+        assert np.all(proc.state_vector() == GRAY)
+
+    def test_conflicted_black_stays_black_on_heads(self):
+        g = Graph(2, [(0, 1)])
+        proc = ThreeColorMIS(
+            g, coins=ScriptedCoins([[True, False]]),
+            init="all_black", switch=always_off(2),
+        )
+        proc.step()
+        assert proc.state_vector().tolist() == [BLACK, GRAY]
+
+    def test_lonely_white_randomizes(self):
+        g = path_graph(2)
+        proc = ThreeColorMIS(
+            g, coins=ScriptedCoins([[True, False]]),
+            init="all_white", switch=always_off(2),
+        )
+        proc.step()
+        assert proc.state_vector().tolist() == [BLACK, WHITE]
+
+    def test_gray_waits_for_switch(self):
+        proc = ThreeColorMIS(
+            Graph(1), coins=ScriptedCoins([[True]] * 3),
+            init="all_gray", switch=always_off(1),
+        )
+        proc.step(3)
+        assert proc.state_vector()[0] == GRAY
+
+    def test_gray_wakes_when_switch_on(self):
+        proc = ThreeColorMIS(
+            Graph(1), coins=ScriptedCoins([[False]]),
+            init="all_gray", switch=always_on(1),
+        )
+        proc.step()
+        assert proc.state_vector()[0] == WHITE
+
+    def test_gray_treated_as_nonblack_by_neighbors(self):
+        # White vertex whose only neighbour is gray: no black neighbour
+        # → active (randomizes).
+        g = path_graph(2)
+        proc = ThreeColorMIS(
+            g, coins=ScriptedCoins([[True, False]]),
+            init=np.array([WHITE, GRAY], dtype=np.int8),
+            switch=always_off(2),
+        )
+        proc.step()
+        assert proc.state_vector()[0] == BLACK
+
+    def test_white_with_black_neighbor_keeps(self):
+        g = path_graph(2)
+        proc = ThreeColorMIS(
+            g, coins=ScriptedCoins([[True, True]]),
+            init=np.array([BLACK, WHITE], dtype=np.int8),
+            switch=always_off(2),
+        )
+        proc.step()
+        assert proc.state_vector().tolist() == [BLACK, WHITE]
+
+
+class TestMasksAndStability:
+    def test_masks_partition(self):
+        proc = ThreeColorMIS(path_graph(6), coins=1)
+        for _ in range(20):
+            black = proc.black_mask()
+            gray = proc.gray_mask()
+            white = proc.white_mask()
+            total = (
+                black.astype(int) + gray.astype(int) + white.astype(int)
+            )
+            assert np.all(total == 1)
+            proc.step()
+
+    def test_gray_never_active(self):
+        proc = ThreeColorMIS(
+            path_graph(4), coins=2,
+            init="all_gray", switch=always_off(4),
+        )
+        assert not proc.active_mask().any()
+
+    def test_stable_black_definition(self):
+        g = path_graph(3)
+        init = np.array([BLACK, WHITE, GRAY], dtype=np.int8)
+        proc = ThreeColorMIS(g, coins=0, init=init, switch=always_off(3))
+        assert proc.stable_black_mask().tolist() == [True, False, False]
+        # Vertex 2 (gray) has no stable-black neighbour → not covered.
+        assert proc.covered_mask().tolist() == [True, True, False]
+        assert not proc.is_stabilized()
+
+    def test_stabilizes_on_suite(self, small_zoo):
+        from repro.core.verify import is_maximal_independent_set
+
+        for seed, g in enumerate(small_zoo.values()):
+            proc = ThreeColorMIS(g, coins=seed, a=8.0)
+            result = run_until_stable(proc, max_rounds=200_000)
+            assert result.stabilized, g
+            assert is_maximal_independent_set(g, result.mis)
+
+    def test_dense_graph_stabilizes(self):
+        g = complete_graph(32)
+        result = run_until_stable(
+            ThreeColorMIS(g, coins=4, a=8.0), max_rounds=200_000
+        )
+        assert result.stabilized
+        assert len(result.mis) == 1
+
+
+class TestSwitchIntegration:
+    def test_full_state_vector(self):
+        proc = ThreeColorMIS(path_graph(3), coins=0)
+        full = proc.full_state_vector()
+        assert full.shape == (2, 3)
+
+    def test_full_state_requires_randomized_switch(self):
+        proc = ThreeColorMIS(
+            path_graph(3), coins=0, switch=always_on(3)
+        )
+        with pytest.raises(TypeError):
+            proc.full_state_vector()
+
+    def test_corrupt_switch(self):
+        proc = ThreeColorMIS(path_graph(3), coins=0)
+        proc.corrupt_switch(np.array([1, 2, 3], dtype=np.int8))
+        assert proc.switch.levels.tolist() == [1, 2, 3]
+
+    def test_corrupt_switch_requires_randomized(self):
+        proc = ThreeColorMIS(path_graph(3), coins=0, switch=always_on(3))
+        with pytest.raises(TypeError):
+            proc.corrupt_switch(np.zeros(3, dtype=np.int8))
+
+    def test_corrupt_colors_and_recover(self):
+        g = star_graph(10)
+        proc = ThreeColorMIS(g, coins=5, a=8.0)
+        result = run_until_stable(proc, max_rounds=200_000)
+        assert result.stabilized
+        proc.corrupt(np.full(10, GRAY, dtype=np.int8))
+        recovery = run_until_stable(proc, max_rounds=200_000)
+        assert recovery.stabilized
+
+    def test_switch_advances_with_process(self):
+        proc = ThreeColorMIS(path_graph(4), coins=3)
+        switch_round_before = proc.switch.round
+        proc.step(5)
+        assert proc.switch.round == switch_round_before + 5

@@ -1,0 +1,182 @@
+"""Tests for the 3-state MIS process (Definition 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.states import BLACK0, BLACK1, WHITE
+from repro.core.three_state import ThreeStateMIS
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.sim.rng import ScriptedCoins
+from repro.sim.runner import run_until_stable
+
+
+class TestInitialization:
+    def test_explicit_init(self):
+        init = np.array([WHITE, BLACK0, BLACK1], dtype=np.int8)
+        proc = ThreeStateMIS(path_graph(3), coins=0, init=init)
+        assert np.array_equal(proc.state_vector(), init)
+
+    def test_init_strings(self):
+        g = path_graph(3)
+        assert np.all(
+            ThreeStateMIS(g, coins=0, init="all_white").state_vector()
+            == WHITE
+        )
+        assert np.all(
+            ThreeStateMIS(g, coins=0, init="all_black1").state_vector()
+            == BLACK1
+        )
+        assert np.all(
+            ThreeStateMIS(g, coins=0, init="all_black0").state_vector()
+            == BLACK0
+        )
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ThreeStateMIS(
+                path_graph(3), coins=0,
+                init=np.array([0, 1, 7], dtype=np.int8),
+            )
+
+    def test_random_init_consumes_two_draws(self):
+        coins = ScriptedCoins([
+            [True, True, False],   # black?
+            [True, False, True],   # black1?
+            [False, False, False],  # round 1 φ
+        ])
+        proc = ThreeStateMIS(path_graph(3), coins=coins)
+        assert proc.state_vector().tolist() == [BLACK1, BLACK0, WHITE]
+
+
+class TestUpdateRule:
+    def test_black1_always_rerandomizes(self):
+        # Isolated black1 vertex: stays black, sub-state follows coin.
+        proc = ThreeStateMIS(
+            Graph(1), coins=ScriptedCoins([[False], [True]]),
+            init=np.array([BLACK1], dtype=np.int8),
+        )
+        proc.step()
+        assert proc.state_vector()[0] == BLACK0
+        proc.step()
+        assert proc.state_vector()[0] == BLACK1
+
+    def test_black0_with_black1_neighbor_retreats(self):
+        g = Graph(2, [(0, 1)])
+        init = np.array([BLACK1, BLACK0], dtype=np.int8)
+        proc = ThreeStateMIS(
+            g, coins=ScriptedCoins([[True, True]]), init=init
+        )
+        proc.step()
+        states = proc.state_vector()
+        assert states[0] == BLACK1  # re-randomized to coin
+        assert states[1] == WHITE   # retreated
+
+    def test_black0_without_black1_neighbor_rerandomizes(self):
+        g = Graph(2, [(0, 1)])
+        init = np.array([BLACK0, WHITE], dtype=np.int8)
+        proc = ThreeStateMIS(
+            g, coins=ScriptedCoins([[False, False]]), init=init
+        )
+        proc.step()
+        states = proc.state_vector()
+        assert states[0] == BLACK0
+        # White with a black (black0) neighbour keeps state.
+        assert states[1] == WHITE
+
+    def test_white_with_all_white_neighbors_rerandomizes(self):
+        g = path_graph(2)
+        proc = ThreeStateMIS(
+            g, coins=ScriptedCoins([[True, False]]),
+            init=np.array([WHITE, WHITE], dtype=np.int8),
+        )
+        proc.step()
+        assert proc.state_vector().tolist() == [BLACK1, BLACK0]
+
+    def test_white_with_black_neighbor_stays(self):
+        g = path_graph(2)
+        proc = ThreeStateMIS(
+            g, coins=ScriptedCoins([[True, True]] * 2),
+            init=np.array([BLACK0, WHITE], dtype=np.int8),
+        )
+        proc.step()
+        assert proc.state_vector()[1] == WHITE
+
+
+class TestStability:
+    def test_stable_black_alternates_substates(self):
+        # Stable black vertex alternates black1/black0 but black_mask is
+        # constant and stability holds throughout.
+        g = path_graph(2)
+        init = np.array([BLACK1, WHITE], dtype=np.int8)
+        proc = ThreeStateMIS(g, coins=11, init=init)
+        assert proc.is_stabilized()
+        seen = set()
+        for _ in range(20):
+            proc.step()
+            assert proc.is_stabilized()
+            assert proc.black_mask().tolist() == [True, False]
+            seen.add(int(proc.state_vector()[0]))
+        assert seen == {BLACK0, BLACK1}
+
+    def test_mis_on_suite(self, small_zoo):
+        from repro.core.verify import is_maximal_independent_set
+
+        for seed, g in enumerate(small_zoo.values()):
+            proc = ThreeStateMIS(g, coins=seed)
+            result = run_until_stable(proc, max_rounds=50_000)
+            assert result.stabilized
+            assert is_maximal_independent_set(g, result.mis)
+
+    def test_clique_singleton(self):
+        result = run_until_stable(
+            ThreeStateMIS(complete_graph(16), coins=2), max_rounds=50_000
+        )
+        assert len(result.mis) == 1
+
+    def test_remark10_no_black_extinction(self):
+        # Remark 10's engine: on K_n, once some vertex is black, the
+        # black set never becomes empty (black1 vertices re-randomize to
+        # black; black0 ones retreat only if a black1 exists, which then
+        # stays black).
+        g = complete_graph(12)
+        proc = ThreeStateMIS(g, coins=13, init="all_black1")
+        for _ in range(100):
+            proc.step()
+            assert proc.black_mask().any()
+
+
+class TestCorruption:
+    def test_corrupt_and_recover(self):
+        g = star_graph(8)
+        proc = ThreeStateMIS(g, coins=3)
+        result = run_until_stable(proc, max_rounds=50_000)
+        assert result.stabilized
+        proc.corrupt(np.full(8, BLACK1, dtype=np.int8))
+        recovery = run_until_stable(proc, max_rounds=50_000)
+        assert recovery.stabilized
+
+    def test_corrupt_validates(self):
+        proc = ThreeStateMIS(path_graph(3), coins=0)
+        with pytest.raises(ValueError):
+            proc.corrupt(np.array([9, 9, 9], dtype=np.int8))
+
+
+class TestActiveMask:
+    def test_active_mask_matches_randomizers(self):
+        # active_mask must flag exactly the vertices whose next state is
+        # random: verify against a manual recomputation.
+        g = star_graph(6)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            init = rng.integers(0, 3, size=6).astype(np.int8)
+            proc = ThreeStateMIS(g, coins=1, init=init)
+            active = proc.active_mask()
+            for u in range(6):
+                nc = {int(init[v]) for v in g.neighbors(u)}
+                expected = (
+                    init[u] == BLACK1
+                    or (init[u] == BLACK0 and BLACK1 not in nc)
+                    or (init[u] == WHITE and nc <= {WHITE})
+                )
+                assert active[u] == expected

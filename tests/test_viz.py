@@ -1,0 +1,105 @@
+"""Tests for repro.viz."""
+
+import numpy as np
+import pytest
+
+from repro.core.states import BLACK, GRAY, WHITE
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.generators import cycle_graph, grid_graph
+from repro.viz import (
+    render_grid_states,
+    render_states,
+    render_timeline,
+    state_histogram,
+)
+
+
+class TestRenderStates:
+    def test_bool_glyphs(self):
+        out = render_states(np.array([True, False, True]))
+        assert out == "#.#"
+
+    def test_three_color_glyphs(self):
+        out = render_states(np.array([WHITE, GRAY, BLACK], dtype=np.int8))
+        assert out == ".:#"
+
+    def test_wrapping(self):
+        out = render_states(np.ones(10, dtype=bool), width=4)
+        assert out.splitlines() == ["####", "####", "##"]
+
+    def test_empty(self):
+        assert render_states(np.array([], dtype=bool)) == ""
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_states(np.array([True]), width=0)
+
+
+class TestRenderGrid:
+    def test_layout(self):
+        states = np.array(
+            [True, False, False, True, True, False], dtype=bool
+        )
+        out = render_grid_states(states, rows=2, cols=3)
+        assert out == "#..\n##."
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            render_grid_states(np.ones(5, dtype=bool), rows=2, cols=3)
+
+
+class TestTimeline:
+    def test_rows_and_annotations(self):
+        proc = TwoStateMIS(cycle_graph(16), coins=1)
+        out = render_timeline(proc, rounds=5)
+        lines = out.splitlines()
+        assert len(lines) == 6
+        assert lines[0].startswith("t=   0")
+        assert "|B|=" in lines[0] and "|V|=" in lines[0]
+        assert proc.round == 5
+
+    def test_every(self):
+        proc = TwoStateMIS(cycle_graph(16), coins=2)
+        out = render_timeline(proc, rounds=6, every=3)
+        assert len(out.splitlines()) == 3  # t = 0, 3, 6
+
+    def test_truncation(self):
+        proc = TwoStateMIS(cycle_graph(100), coins=3)
+        out = render_timeline(proc, rounds=0, width=20)
+        assert out.splitlines()[0].endswith("…")
+
+    def test_validation(self):
+        proc = TwoStateMIS(cycle_graph(8), coins=0)
+        with pytest.raises(ValueError):
+            render_timeline(proc, rounds=-1)
+        with pytest.raises(ValueError):
+            render_timeline(proc, rounds=1, every=0)
+
+
+class TestHistogram:
+    def test_bool_histogram(self):
+        out = state_histogram(np.array([True, True, False]))
+        assert "black" in out and "white" in out
+        assert "2" in out and "1" in out
+
+    def test_three_color_histogram(self):
+        out = state_histogram(
+            np.array([WHITE, GRAY, GRAY, BLACK], dtype=np.int8)
+        )
+        assert "gray" in out
+
+    def test_bars_scale(self):
+        out = state_histogram(
+            np.array([True] * 30 + [False] * 10)
+        )
+        lines = out.splitlines()
+        black_bar = next(l for l in lines if "black" in l)
+        white_bar = next(l for l in lines if "white" in l)
+        assert black_bar.count("█") > white_bar.count("█")
+
+    def test_grid_run_histogram_integration(self):
+        g = grid_graph(8, 8)
+        proc = TwoStateMIS(g, coins=4)
+        proc.run(max_rounds=10_000)
+        out = state_histogram(proc.state_vector())
+        assert "black" in out
