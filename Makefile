@@ -1,0 +1,24 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test test-fast docs check-docs bench bench-batched ci
+
+test:            ## full test suite (tier-1 gate)
+	$(PYTHON) -m pytest -x -q
+
+test-fast:       ## test suite without the slower integration modules
+	$(PYTHON) -m pytest -x -q -m "not slow" --ignore=tests/test_integration.py
+
+docs:            ## regenerate docs/API.md from docstrings
+	$(PYTHON) tools/gen_api_docs.py
+
+check-docs:      ## fail if docs/API.md is stale
+	$(PYTHON) tools/check_docs.py
+
+bench:           ## full benchmark suite
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+bench-batched:   ## serial vs batched trial-engine speedup report
+	$(PYTHON) benchmarks/bench_batched_trials.py
+
+ci: test check-docs   ## what the CI workflow runs

@@ -1,0 +1,107 @@
+"""Batched vs serial Monte-Carlo trial throughput.
+
+The acceptance workload for the batched trial engine: 256 independent
+2-state trials on a fixed G(n=512, p=0.05), where the batched engine
+must deliver at least 5x the serial trial loop's throughput while
+producing bitwise-identical per-trial results.  Also measures the
+heterogeneous (per-trial resampled graph) block-diagonal path.
+
+Run under pytest-benchmark::
+
+    pytest benchmarks/bench_batched_trials.py --benchmark-only
+
+or standalone for a quick speedup report::
+
+    PYTHONPATH=src python benchmarks/bench_batched_trials.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.sim.montecarlo import estimate_stabilization_time
+
+N = 512
+P = 0.05
+TRIALS = 256
+MAX_ROUNDS = 20_000
+SEED = 1
+
+_GRAPH = gnp_random_graph(N, P, rng=0)
+
+
+def _make_shared(trial_seed):
+    return TwoStateMIS(_GRAPH, coins=trial_seed)
+
+
+def _make_resampled(trial_seed):
+    rng = np.random.default_rng(trial_seed)
+    return TwoStateMIS(gnp_random_graph(N, P, rng=rng), coins=rng)
+
+
+def _run(batch):
+    return estimate_stabilization_time(
+        _make_shared,
+        trials=TRIALS,
+        max_rounds=MAX_ROUNDS,
+        seed=SEED,
+        batch=batch,
+    )
+
+
+def test_serial_trial_loop(benchmark):
+    stats = benchmark.pedantic(lambda: _run(None), rounds=3, iterations=1)
+    assert stats.success_rate == 1.0
+
+
+def test_batched_trial_engine(benchmark):
+    stats = benchmark.pedantic(lambda: _run("auto"), rounds=3, iterations=1)
+    assert stats.success_rate == 1.0
+
+
+def test_batched_resampled_graphs(benchmark):
+    stats = benchmark.pedantic(
+        lambda: estimate_stabilization_time(
+            _make_resampled,
+            trials=128,
+            max_rounds=MAX_ROUNDS,
+            seed=SEED,
+            batch="auto",
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert stats.success_rate == 1.0
+
+
+def test_batched_speedup_at_least_5x(benchmark):
+    """The ISSUE acceptance criterion, measured end to end."""
+
+    def measure():
+        t0 = time.perf_counter()
+        serial = _run(None)
+        t1 = time.perf_counter()
+        batched = _run("auto")
+        t2 = time.perf_counter()
+        assert np.array_equal(serial.times, batched.times)
+        return (t1 - t0) / (t2 - t1)
+
+    speedup = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert speedup >= 5.0, f"batched speedup only {speedup:.2f}x"
+
+
+if __name__ == "__main__":
+    t0 = time.perf_counter()
+    serial = _run(None)
+    t1 = time.perf_counter()
+    batched = _run("auto")
+    t2 = time.perf_counter()
+    assert np.array_equal(serial.times, batched.times)
+    t_serial, t_batched = t1 - t0, t2 - t1
+    print(f"G(n={N}, p={P}), {TRIALS} trials")
+    print(f"  serial  trial loop : {t_serial:.3f} s")
+    print(f"  batched engine     : {t_batched:.3f} s")
+    print(f"  speedup            : {t_serial / t_batched:.1f}x")
+    print(f"  per-trial results identical: True ({serial.summary()})")

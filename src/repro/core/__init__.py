@@ -27,6 +27,7 @@ from repro.core.states import (
 from repro.core.neighbor_ops import NeighborOps, make_neighbor_ops
 from repro.core.process import MISProcess
 from repro.core.two_state import TwoStateMIS
+from repro.core.batched import BatchedTwoStateMIS, batchable
 from repro.core.three_state import ThreeStateMIS
 from repro.core.switch import (
     RandomizedLogSwitch,
@@ -70,6 +71,8 @@ __all__ = [
     "make_neighbor_ops",
     "MISProcess",
     "TwoStateMIS",
+    "BatchedTwoStateMIS",
+    "batchable",
     "ThreeStateMIS",
     "RandomizedLogSwitch",
     "OracleSwitch",

@@ -48,6 +48,33 @@ class NeighborOps:
         """``out[u] = (N(u) ∩ mask != ∅)`` as a boolean array."""
         return self.count(mask) > 0
 
+    def _validate_masks(self, masks: np.ndarray) -> np.ndarray:
+        """Coerce and shape-check an ``(R, n)`` replica-mask matrix."""
+        masks = np.asarray(masks)
+        if masks.ndim != 2 or masks.shape[1] != self.n:
+            raise ValueError(
+                f"masks must have shape (R, {self.n}), got {masks.shape}"
+            )
+        return masks
+
+    def count_batch(self, masks: np.ndarray) -> np.ndarray:
+        """Batched :meth:`count` over ``R`` replica masks at once.
+
+        ``masks`` has shape ``(R, n)``; the result ``out`` has the same
+        shape with ``out[r, u] = |N(u) ∩ {v : masks[r, v]}|``.  Backends
+        override this with a single matrix product, which is what makes
+        the batched trial engine (:class:`repro.core.batched.BatchedTwoStateMIS`)
+        fast; the generic fallback loops over rows.
+        """
+        masks = self._validate_masks(masks)
+        if masks.shape[0] == 0:
+            return np.zeros(masks.shape, dtype=np.int64)
+        return np.stack([self.count(row) for row in masks])
+
+    def exists_batch(self, masks: np.ndarray) -> np.ndarray:
+        """Batched :meth:`exists`: ``out[r, u] = (N(u) ∩ masks[r] != ∅)``."""
+        return self.count_batch(masks) > 0
+
     def max_closed(self, values: np.ndarray) -> np.ndarray:
         """``out[u] = max over N+(u) of values[w]``.
 
@@ -70,9 +97,21 @@ class DenseNeighborOps(NeighborOps):
     def __init__(self, graph: Graph) -> None:
         super().__init__(graph)
         self._a = graph.adjacency_dense()
+        self._a_f32: np.ndarray | None = None  # lazy BLAS copy for batches
 
     def count(self, mask: np.ndarray) -> np.ndarray:
         return self._a @ np.asarray(mask, dtype=np.int32)
+
+    def count_batch(self, masks: np.ndarray) -> np.ndarray:
+        # A is symmetric, so right-multiplying the (R, n) mask matrix
+        # computes every replica's neighbour counts in one matmul.  The
+        # product runs in float32 to hit BLAS (numpy integer matmul is a
+        # generic loop): every partial sum is an integer <= n < 2^24, so
+        # float32 arithmetic is exact and the cast back is lossless.
+        masks = self._validate_masks(masks)
+        if self._a_f32 is None:
+            self._a_f32 = self._a.astype(np.float32)
+        return (masks.astype(np.float32) @ self._a_f32).astype(np.int32)
 
 
 class SparseNeighborOps(NeighborOps):
@@ -84,6 +123,11 @@ class SparseNeighborOps(NeighborOps):
 
     def count(self, mask: np.ndarray) -> np.ndarray:
         return self._a.dot(np.asarray(mask, dtype=np.int32))
+
+    def count_batch(self, masks: np.ndarray) -> np.ndarray:
+        # One CSR × dense (n, R) product serves all replicas (A = Aᵀ).
+        masks = self._validate_masks(masks)
+        return self._a.dot(masks.astype(np.int32).T).T
 
 
 class AdjListNeighborOps(NeighborOps):

@@ -31,6 +31,13 @@ def gnp_random_graph(
     Each of the ``C(n, 2)`` possible edges is present independently with
     probability ``p``.  Uses geometric skipping, so the cost is
     ``O(n + m)`` rather than ``O(n^2)`` for sparse graphs.
+
+    Any ``0 <= p <= 1`` float is accepted, including denormals: skip
+    lengths are computed in float space and compared against the number
+    of remaining vertex pairs *before* integer conversion, so a tiny
+    ``p`` (where ``log1p(-p)`` underflows toward ``-0.0`` and the skip
+    quotient overflows to ``inf``) terminates cleanly instead of raising
+    ``OverflowError``.
     """
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"p must be in [0, 1], got {p}")
@@ -40,13 +47,16 @@ def gnp_random_graph(
     if p == 0.0 or n < 2:
         return Graph(n)
     if p == 1.0:
-        return Graph(n, [(u, v) for u in range(n) for v in range(u + 1, n)])
+        from repro.graphs.generators import complete_graph
+
+        return complete_graph(n)
 
     # Dense fast path: materialize the whole upper triangle with one
     # vectorized Bernoulli draw (O(n²) memory but no Python loop) when
     # the expected edge count would make geometric skipping's per-edge
     # Python iteration the bottleneck.
-    expected_edges = p * n * (n - 1) / 2.0
+    total_pairs = n * (n - 1) // 2
+    expected_edges = p * total_pairs
     if expected_edges > 50_000 and n <= 6000:
         iu, ju = np.triu_indices(n, k=1)
         mask = gen.random(iu.size) < p
@@ -58,18 +68,26 @@ def gnp_random_graph(
     # the dense experiments otherwise).
     us: list[int] = []
     vs: list[int] = []
-    log_q = np.log1p(-p)
+    log_q = float(np.log1p(-p))
     v = 1
     w = -1
-    while v < n:
-        r = gen.random()
-        w = w + 1 + int(np.floor(np.log1p(-r) / log_q))
-        while w >= v and v < n:
-            w -= v
-            v += 1
-        if v < n:
-            us.append(w)
-            vs.append(v)
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        while v < n:
+            r = gen.random()
+            # A skip of >= total_pairs lands past the last pair whatever
+            # the current position, so the sample contains no further
+            # edge.  The comparison happens on the float (inf-safe): for
+            # denormal p, log_q rounds to -0.0 and the quotient is +inf.
+            skip = np.floor(np.log1p(-r) / log_q)
+            if not skip < total_pairs:
+                break
+            w = w + 1 + int(skip)
+            while w >= v and v < n:
+                w -= v
+                v += 1
+            if v < n:
+                us.append(w)
+                vs.append(v)
     return Graph.from_numpy_edges(
         n, np.array(us, dtype=np.int64), np.array(vs, dtype=np.int64)
     )
@@ -140,15 +158,19 @@ def random_regular_graph(
     and multi-edges by random double-edge swaps (the standard practical
     fix; the resulting distribution is not exactly uniform over simple
     d-regular graphs but is contiguous with it for ``d = O(sqrt(n))``,
-    which is all the Theorem 12 experiments need).
+    which is all the Theorem 12 experiments need).  Dense degrees
+    (``2d >= n``), where swap repair converges poorly, are generated as
+    the complement of a random ``(n-1-d)``-regular graph; if a repair
+    still fails, the whole pairing is redrawn (up to ``max_attempts``
+    restarts).
 
     Raises
     ------
     ValueError
         If ``n*d`` is odd or ``d >= n``.
     RuntimeError
-        If the repair loop fails to converge (practically impossible for
-        ``d <= n/4``).
+        If every restart's repair loop fails to converge (practically
+        unreachable).
     """
     if d < 0 or n < 0:
         raise ValueError("n and d must be >= 0")
@@ -159,61 +181,86 @@ def random_regular_graph(
     if d == 0:
         return Graph(n)
     gen = _as_rng(rng)
-    stubs = np.repeat(np.arange(n), d)
-    gen.shuffle(stubs)
-    pairs = [
-        (int(stubs[2 * i]), int(stubs[2 * i + 1]))
-        for i in range(len(stubs) // 2)
-    ]
+    if d == n - 1:
+        # K_n is the unique (n-1)-regular simple graph.
+        from repro.graphs.generators import complete_graph
 
-    def edge_key(u: int, v: int) -> tuple[int, int]:
-        return (u, v) if u < v else (v, u)
+        return complete_graph(n)
+    if 2 * d >= n:
+        # Complementation: G is d-regular iff its complement is
+        # (n-1-d)-regular, and n(n-1-d) inherits evenness from nd.
+        # The complement is taken vectorized — the result has Θ(n²)
+        # edges, so per-edge Python construction would dominate.
+        sparse = _random_regular_pairing(n, n - 1 - d, gen, max_attempts)
+        absent = sparse.adjacency_dense() == 0
+        iu, ju = np.triu_indices(n, k=1)
+        mask = absent[iu, ju]
+        return Graph.from_numpy_edges(n, iu[mask], ju[mask])
+    return _random_regular_pairing(n, d, gen, max_attempts)
 
-    seen: dict[tuple[int, int], int] = {}
-    bad: set[int] = set()
-    for idx, (u, v) in enumerate(pairs):
-        if u == v:
-            bad.add(idx)
-            continue
-        key = edge_key(u, v)
-        if key in seen:
-            bad.add(idx)
-        else:
-            seen[key] = idx
 
-    num_pairs = len(pairs)
-    for _ in range(max_attempts * max(num_pairs, 1)):
-        if not bad:
-            break
-        i = next(iter(bad))
-        j = int(gen.integers(0, num_pairs))
-        if i == j:
-            continue
-        u1, v1 = pairs[i]
-        u2, v2 = pairs[j]
-        # Swap the second endpoints: (u1, v2), (u2, v1).
-        new_i, new_j = (u1, v2), (u2, v1)
-        for idx in (i, j):
-            u, v = pairs[idx]
-            if u != v and seen.get(edge_key(u, v)) == idx:
-                del seen[edge_key(u, v)]
-            bad.discard(idx)
-        pairs[i], pairs[j] = new_i, new_j
-        for idx in (i, j):
-            u, v = pairs[idx]
+def _random_regular_pairing(
+    n: int, d: int, gen: np.random.Generator, max_attempts: int
+) -> Graph:
+    """Configuration-model pairing with swap repair and full restarts."""
+    if d == 0:
+        return Graph(n)
+    for _ in range(max(max_attempts, 1)):
+        stubs = np.repeat(np.arange(n), d)
+        gen.shuffle(stubs)
+        pairs = [
+            (int(stubs[2 * i]), int(stubs[2 * i + 1]))
+            for i in range(len(stubs) // 2)
+        ]
+
+        def edge_key(u: int, v: int) -> tuple[int, int]:
+            return (u, v) if u < v else (v, u)
+
+        seen: dict[tuple[int, int], int] = {}
+        bad: set[int] = set()
+        for idx, (u, v) in enumerate(pairs):
             if u == v:
                 bad.add(idx)
                 continue
             key = edge_key(u, v)
-            if key in seen and seen[key] != idx:
+            if key in seen:
                 bad.add(idx)
             else:
                 seen[key] = idx
-    if bad:
-        raise RuntimeError(
-            f"failed to repair a simple {d}-regular pairing on {n} vertices"
-        )
-    return Graph(n, pairs)
+
+        num_pairs = len(pairs)
+        for _ in range(max_attempts * max(num_pairs, 1)):
+            if not bad:
+                break
+            i = next(iter(bad))
+            j = int(gen.integers(0, num_pairs))
+            if i == j:
+                continue
+            u1, v1 = pairs[i]
+            u2, v2 = pairs[j]
+            # Swap the second endpoints: (u1, v2), (u2, v1).
+            new_i, new_j = (u1, v2), (u2, v1)
+            for idx in (i, j):
+                u, v = pairs[idx]
+                if u != v and seen.get(edge_key(u, v)) == idx:
+                    del seen[edge_key(u, v)]
+                bad.discard(idx)
+            pairs[i], pairs[j] = new_i, new_j
+            for idx in (i, j):
+                u, v = pairs[idx]
+                if u == v:
+                    bad.add(idx)
+                    continue
+                key = edge_key(u, v)
+                if key in seen and seen[key] != idx:
+                    bad.add(idx)
+                else:
+                    seen[key] = idx
+        if not bad:
+            return Graph(n, pairs)
+    raise RuntimeError(
+        f"failed to repair a simple {d}-regular pairing on {n} vertices"
+    )
 
 
 def random_bipartite_graph(

@@ -1,7 +1,13 @@
 """Simulation engine: coin sources, runners, metrics, Monte-Carlo tools."""
 
-from repro.sim.rng import CoinSource, SeededCoins, ScriptedCoins, spawn_seeds
-from repro.sim.runner import RunResult, run_until_stable
+from repro.sim.rng import (
+    CoinSource,
+    SeededCoins,
+    ScriptedCoins,
+    spawn_coin_sources,
+    spawn_seeds,
+)
+from repro.sim.runner import RunResult, run_many_until_stable, run_until_stable
 from repro.sim.trace import Trace, TraceRecorder
 from repro.sim.metrics import (
     ProgressCurve,
@@ -19,8 +25,10 @@ __all__ = [
     "SeededCoins",
     "ScriptedCoins",
     "spawn_seeds",
+    "spawn_coin_sources",
     "RunResult",
     "run_until_stable",
+    "run_many_until_stable",
     "Trace",
     "TraceRecorder",
     "ProgressCurve",

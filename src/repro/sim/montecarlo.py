@@ -5,6 +5,16 @@ independent trials.  :func:`estimate_stabilization_time` runs a process
 factory over independent seeds and summarizes the stabilization-time
 distribution; :func:`sweep_stabilization_times` maps that over a
 parameter grid (the engine behind every n-sweep experiment).
+
+Trials are independent, so by default (``batch="auto"``) they execute on
+the vectorized batched engine
+(:class:`repro.core.batched.BatchedTwoStateMIS`): the factory's
+processes are built in seed order exactly as the serial loop would
+build them, then all batchable ones advance together as one state
+matrix.  Per-trial results are bitwise-identical to ``batch=None``;
+non-batchable processes (3-color, scheduled wrappers, ...) silently
+take the serial path.  ``sweep_stabilization_times`` adds an opt-in
+``n_jobs`` process pool across grid points for multi-core sweeps.
 """
 
 from __future__ import annotations
@@ -16,7 +26,12 @@ import numpy as np
 from scipy import stats as scipy_stats
 
 from repro.sim.rng import spawn_seeds
-from repro.sim.runner import run_until_stable
+from repro.sim.runner import (
+    AUTO_BATCH_CHUNK,
+    run_many_until_stable,
+    run_until_stable,
+    validate_batch,
+)
 
 
 @dataclass
@@ -107,6 +122,7 @@ def estimate_stabilization_time(
     trials: int,
     max_rounds: int,
     seed: int | None = 0,
+    batch: str | int | None = "auto",
 ) -> TrialStats:
     """Run independent trials and collect stabilization times.
 
@@ -116,30 +132,85 @@ def estimate_stabilization_time(
         Called as ``process_factory(trial_seed)``; must return a fresh
         process.  The factory owns graph construction, so resampling the
         graph per trial (as G(n,p) experiments require) or fixing it is
-        the caller's choice.
+        the caller's choice.  Factories must not share mutable random
+        state *across* calls (each call derives everything from its
+        ``trial_seed``) — all in-repo factories satisfy this, and it is
+        what makes the batched fast path trial-for-trial identical to
+        the serial loop.
     trials:
         Number of independent trials.
     max_rounds:
         Per-trial round budget.
     seed:
         Master seed; per-trial seeds are spawned from it.
+    batch:
+        Trial-execution strategy: ``"auto"`` (default) simulates up to
+        :data:`AUTO_BATCH_CHUNK` trials at a time on the batched engine,
+        an ``int`` sets that chunk size explicitly, and ``None`` forces
+        the serial trial loop.  All three produce identical statistics.
+        Factories producing non-batchable processes (3-color, scheduled
+        wrappers, ...) are detected from the first trial and routed to
+        the serial loop without up-front chunk construction.
     """
+    from repro.core.batched import batchable
+
     if trials < 1:
         raise ValueError("trials must be >= 1")
+    validate_batch(batch)
     seeds = spawn_seeds(seed, trials)
     times = []
     failures = 0
-    for trial_seed in seeds:
-        process = process_factory(trial_seed)
-        result = run_until_stable(process, max_rounds=max_rounds)
-        if result.stabilized:
-            times.append(result.stabilization_round)
-        else:
-            failures += 1
+
+    def record(results) -> None:
+        nonlocal failures
+        for result in results:
+            if result.stabilized:
+                times.append(result.stabilization_round)
+            else:
+                failures += 1
+
+    probe = None
+    if batch is not None:
+        probe = process_factory(seeds[0])
+        if not batchable(probe):
+            batch = None  # the batched engine cannot help this factory
+    if batch is None:
+        for i, trial_seed in enumerate(seeds):
+            process = probe if i == 0 and probe is not None else (
+                process_factory(trial_seed)
+            )
+            record([run_until_stable(process, max_rounds=max_rounds)])
+    else:
+        chunk_size = AUTO_BATCH_CHUNK if batch == "auto" else int(batch)
+        for lo in range(0, trials, chunk_size):
+            chunk_seeds = seeds[lo:lo + chunk_size]
+            if lo == 0:
+                processes = [probe] + [
+                    process_factory(s) for s in chunk_seeds[1:]
+                ]
+            else:
+                processes = [process_factory(s) for s in chunk_seeds]
+            record(
+                run_many_until_stable(
+                    processes, max_rounds=max_rounds, batch=batch
+                )
+            )
     return TrialStats(
         times=np.array(times, dtype=np.int64),
         failures=failures,
         max_rounds=max_rounds,
+    )
+
+
+def _sweep_point(payload: tuple) -> TrialStats:
+    """Evaluate one grid point (module-level so process pools can pickle it)."""
+    make_factory, point, trials, budget, point_seed, batch = payload
+    return estimate_stabilization_time(
+        make_factory(point),
+        trials=trials,
+        max_rounds=budget,
+        seed=point_seed,
+        batch=batch,
     )
 
 
@@ -149,6 +220,8 @@ def sweep_stabilization_times(
     trials: int,
     max_rounds: int | Callable[[object], int],
     seed: int | None = 0,
+    batch: str | int | None = "auto",
+    n_jobs: int | None = None,
 ) -> dict:
     """Estimate stabilization times over a parameter grid.
 
@@ -163,19 +236,32 @@ def sweep_stabilization_times(
         re-derived per grid point for independence).
     max_rounds:
         Either a constant budget or a callable of the grid point.
+    batch:
+        Per-point trial execution strategy (see
+        :func:`estimate_stabilization_time`).
+    n_jobs:
+        Opt-in process-pool width across *grid points*.  ``None`` or
+        ``1`` evaluates points in-process; ``>= 2`` fans points out to a
+        ``ProcessPoolExecutor``, which requires ``make_factory`` to be
+        picklable (a module-level function — local lambdas stay on the
+        in-process path).  Results are identical either way.
 
     Returns
     -------
     dict mapping each grid point to its :class:`TrialStats`.
     """
-    results = {}
     point_seeds = spawn_seeds(seed, len(grid))
+    payloads = []
     for point, point_seed in zip(grid, point_seeds):
         budget = max_rounds(point) if callable(max_rounds) else max_rounds
-        results[point] = estimate_stabilization_time(
-            make_factory(point),
-            trials=trials,
-            max_rounds=budget,
-            seed=point_seed,
+        payloads.append(
+            (make_factory, point, trials, budget, point_seed, batch)
         )
-    return results
+    if n_jobs is not None and n_jobs >= 2:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            stats = list(pool.map(_sweep_point, payloads))
+    else:
+        stats = [_sweep_point(payload) for payload in payloads]
+    return dict(zip(grid, stats))

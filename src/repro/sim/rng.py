@@ -126,3 +126,16 @@ def spawn_seeds(seed: int | None, count: int) -> list[int]:
     """
     seq = np.random.SeedSequence(seed)
     return [int(child.generate_state(1)[0]) for child in seq.spawn(count)]
+
+
+def spawn_coin_sources(seed: int | None, count: int) -> list[SeededCoins]:
+    """``count`` independent :class:`SeededCoins` streams from a master seed.
+
+    Convenience for building one coin stream per trial/replica by hand
+    (e.g. when constructing a process list for
+    :func:`repro.sim.runner.run_many_until_stable` directly, outside the
+    factory-based Monte-Carlo entry points): ``spawn_coin_sources(seed,
+    count)[r]`` draws exactly what a process seeded with
+    ``spawn_seeds(seed, count)[r]`` would.
+    """
+    return [SeededCoins(s) for s in spawn_seeds(seed, count)]

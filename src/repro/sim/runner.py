@@ -5,6 +5,12 @@ round budget runs out, optionally recording a trajectory and verifying
 the resulting MIS.  The stabilization *time* reported is the earliest
 round at the end of which all vertices are stable — exactly the paper's
 definition — found by checking the predicate after every round.
+
+For Monte-Carlo campaigns, :func:`run_many_until_stable` runs a whole
+list of independent processes, routing batchable ones (plain
+:class:`~repro.core.two_state.TwoStateMIS`) through the vectorized
+:class:`~repro.core.batched.BatchedTwoStateMIS` engine and everything
+else through the serial loop, with results bitwise-identical either way.
 """
 
 from __future__ import annotations
@@ -118,3 +124,81 @@ def run_until_stable(
         mis=mis,
         trace=recorder.trace if recorder is not None else None,
     )
+
+
+#: Replicas simulated together per batch under ``batch="auto"`` —
+#: bounds how much live process/adjacency state exists at once.
+AUTO_BATCH_CHUNK = 128
+
+
+def validate_batch(batch: str | int | None) -> None:
+    """Validate a trial-batching strategy: ``"auto"``, positive int, or None."""
+    if batch is not None and batch != "auto":
+        if not isinstance(batch, int) or isinstance(batch, bool) or batch < 1:
+            raise ValueError(
+                f"batch must be 'auto', a positive int, or None; got {batch!r}"
+            )
+
+
+def run_many_until_stable(
+    processes,
+    max_rounds: int = 1_000_000,
+    verify: bool = True,
+    batch: str | int | None = "auto",
+) -> list[RunResult]:
+    """Run many independent processes to stabilization, batching when possible.
+
+    Batchable processes (see :func:`repro.core.batched.batchable`) with
+    a common vertex count are simulated together as an ``(R, n)`` state
+    matrix by :class:`~repro.core.batched.BatchedTwoStateMIS`; all other
+    processes go through :func:`run_until_stable` one at a time.  Every
+    process produces the exact trajectory it would have produced
+    serially, so the two paths are interchangeable.
+
+    Parameters
+    ----------
+    processes:
+        Processes to run; each is advanced in place.
+    max_rounds, verify:
+        As in :func:`run_until_stable` (shared by all processes).
+    batch:
+        ``"auto"`` (group batchable processes in chunks of
+        :data:`AUTO_BATCH_CHUNK`, bounding peak memory), an ``int`` cap
+        on replicas per batch, or ``None`` (serial loop for everything).
+
+    Returns
+    -------
+    list[RunResult] in input order (no traces; use
+    :func:`run_until_stable` directly to record trajectories).
+    """
+    from repro.core.batched import BatchedTwoStateMIS, batchable
+
+    processes = list(processes)
+    validate_batch(batch)
+    results: list[RunResult | None] = [None] * len(processes)
+
+    groups: dict[int, list[int]] = {}
+    if batch is not None:
+        for idx, process in enumerate(processes):
+            if batchable(process):
+                groups.setdefault(process.n, []).append(idx)
+    batched_indices = set()
+    for indices in groups.values():
+        if len(indices) < 2:
+            continue  # a singleton gains nothing from the batch machinery
+        cap = AUTO_BATCH_CHUNK if batch == "auto" else int(batch)
+        for lo in range(0, len(indices), cap):
+            chunk = indices[lo:lo + cap]
+            if len(chunk) == 1:
+                continue
+            engine = BatchedTwoStateMIS([processes[i] for i in chunk])
+            for i, result in zip(chunk, engine.run(max_rounds, verify=verify)):
+                results[i] = result
+            batched_indices.update(chunk)
+
+    for idx, process in enumerate(processes):
+        if idx not in batched_indices:
+            results[idx] = run_until_stable(
+                process, max_rounds=max_rounds, verify=verify
+            )
+    return results

@@ -1,0 +1,308 @@
+"""Tests for the batched trial engine (repro.core.batched).
+
+The contract under test is *bitwise* serial/batched equivalence: every
+replica of :class:`BatchedTwoStateMIS` must reproduce exactly the
+trajectory the wrapped :class:`TwoStateMIS` would have produced under
+:func:`run_until_stable` with the same coin stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batched import BatchedTwoStateMIS, batchable
+from repro.core.schedulers import IndependentScheduler, ScheduledTwoStateMIS
+from repro.core.three_color import ThreeColorMIS
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.sim.montecarlo import (
+    estimate_stabilization_time,
+    sweep_stabilization_times,
+)
+from repro.sim.rng import ScriptedCoins, spawn_coin_sources, spawn_seeds
+from repro.sim.runner import run_many_until_stable, run_until_stable
+
+
+def serial_results(build, seeds, max_rounds=10_000):
+    return [
+        run_until_stable(build(s), max_rounds=max_rounds) for s in seeds
+    ]
+
+
+def assert_same_results(serial, batched):
+    assert len(serial) == len(batched)
+    for a, b in zip(serial, batched):
+        assert a.stabilized == b.stabilized
+        assert a.stabilization_round == b.stabilization_round
+        assert a.rounds_executed == b.rounds_executed
+        if a.mis is None:
+            assert b.mis is None
+        else:
+            assert np.array_equal(a.mis, b.mis)
+
+
+class TestEquivalenceSharedGraph:
+    def test_gnp_shared_graph(self):
+        g = gnp_random_graph(120, 0.08, rng=5)
+        seeds = spawn_seeds(11, 24)
+        serial = serial_results(lambda s: TwoStateMIS(g, coins=s), seeds)
+        # spawn_coin_sources(seed, k)[r] draws exactly what a process
+        # seeded with spawn_seeds(seed, k)[r] would.
+        procs = [
+            TwoStateMIS(g, coins=c) for c in spawn_coin_sources(11, 24)
+        ]
+        batched = BatchedTwoStateMIS(procs).run(10_000)
+        assert_same_results(serial, batched)
+
+    def test_writeback_matches_serial_processes(self):
+        g = cycle_graph(40)
+        seeds = spawn_seeds(3, 10)
+        serial_procs = [TwoStateMIS(g, coins=s) for s in seeds]
+        for p in serial_procs:
+            run_until_stable(p, max_rounds=10_000)
+        batch_procs = [TwoStateMIS(g, coins=s) for s in seeds]
+        BatchedTwoStateMIS(batch_procs).run(10_000)
+        for sp, bp in zip(serial_procs, batch_procs):
+            assert np.array_equal(sp.black, bp.black)
+            assert sp.round == bp.round
+
+    def test_sparse_backend_graph(self):
+        # n > 512 with low density routes to the sparse backend.
+        g = gnp_random_graph(700, 0.01, rng=2)
+        seeds = spawn_seeds(17, 8)
+        serial = serial_results(lambda s: TwoStateMIS(g, coins=s), seeds)
+        procs = [TwoStateMIS(g, coins=s) for s in seeds]
+        batched = BatchedTwoStateMIS(procs).run(10_000)
+        assert_same_results(serial, batched)
+
+    def test_eager_white_promotion_replicas(self):
+        g = gnp_random_graph(60, 0.1, rng=9)
+        seeds = spawn_seeds(23, 12)
+
+        def build(s):
+            return TwoStateMIS(g, coins=s, eager_white_promotion=True)
+
+        serial = serial_results(build, seeds)
+        batched = BatchedTwoStateMIS([build(s) for s in seeds]).run(10_000)
+        assert_same_results(serial, batched)
+
+    def test_initially_stable_replicas_report_round_zero(self):
+        g = Graph(5)  # edgeless: all-black is already an MIS
+        procs = [
+            TwoStateMIS(g, coins=s, init="all_black") for s in range(4)
+        ]
+        results = BatchedTwoStateMIS(procs).run(100)
+        assert all(r.stabilization_round == 0 for r in results)
+        assert all(np.array_equal(r.mis, np.arange(5)) for r in results)
+
+    def test_budget_exhaustion_mixed_with_successes(self):
+        # On K_n some seeds stabilize fast; a tiny budget forces a mix.
+        g = complete_graph(24)
+        seeds = spawn_seeds(31, 30)
+        serial = serial_results(
+            lambda s: TwoStateMIS(g, coins=s), seeds, max_rounds=2
+        )
+        procs = [TwoStateMIS(g, coins=s) for s in seeds]
+        batched = BatchedTwoStateMIS(procs).run(2)
+        assert_same_results(serial, batched)
+        assert any(not r.stabilized for r in batched)
+        assert any(r.stabilized for r in batched)
+
+    def test_scripted_coins_replicas(self):
+        # Path 0-1-2, all white: both endpoints and the middle are
+        # active; scripted coins force an exact trajectory.
+        g = path_graph(3)
+        script_a = [[0, 0, 0], [1, 0, 1]]  # init draw consumed by init=...
+        script_b = [[0, 1, 0]]
+
+        def build(script):
+            return TwoStateMIS(
+                g, coins=ScriptedCoins(script), init="all_white"
+            )
+
+        serial = [
+            run_until_stable(build(script_a), max_rounds=10),
+            run_until_stable(build(script_b), max_rounds=10),
+        ]
+        batched = BatchedTwoStateMIS(
+            [build(script_a), build(script_b)]
+        ).run(10)
+        assert_same_results(serial, batched)
+        assert np.array_equal(batched[1].mis, np.array([1]))
+
+
+class TestEquivalenceHeterogeneousGraphs:
+    def test_resampled_graphs_per_replica(self):
+        def build(s):
+            rng = np.random.default_rng(s)
+            graph = gnp_random_graph(90, 0.05, rng=rng)
+            return TwoStateMIS(graph, coins=rng)
+
+        seeds = spawn_seeds(7, 20)
+        serial = serial_results(build, seeds)
+        batched = BatchedTwoStateMIS([build(s) for s in seeds]).run(10_000)
+        assert_same_results(serial, batched)
+
+    def test_block_compaction_with_long_straggler(self):
+        # Mix near-instant replicas (edgeless graphs) with slow ones so
+        # retirements trigger block compaction mid-run.
+        def build(s):
+            rng = np.random.default_rng(s)
+            if s % 3 == 0:
+                graph = Graph(50)
+            else:
+                graph = gnp_random_graph(50, 0.3, rng=rng)
+            return TwoStateMIS(graph, coins=rng)
+
+        seeds = list(range(30))
+        serial = serial_results(build, seeds)
+        batched = BatchedTwoStateMIS([build(s) for s in seeds]).run(10_000)
+        assert_same_results(serial, batched)
+
+
+class TestRunManyUntilStable:
+    def test_mixed_process_types_preserve_order(self):
+        g = gnp_random_graph(40, 0.1, rng=1)
+        seeds = spawn_seeds(19, 6)
+
+        def build(i, s):
+            if i % 2 == 0:
+                return TwoStateMIS(g, coins=s)
+            return ThreeColorMIS(g, coins=s)
+
+        serial = [
+            run_until_stable(build(i, s), max_rounds=50_000)
+            for i, s in enumerate(seeds)
+        ]
+        mixed = [build(i, s) for i, s in enumerate(seeds)]
+        batched = run_many_until_stable(mixed, max_rounds=50_000)
+        assert_same_results(serial, batched)
+
+    def test_batch_none_forces_serial(self):
+        g = complete_graph(16)
+        seeds = spawn_seeds(2, 5)
+        a = run_many_until_stable(
+            [TwoStateMIS(g, coins=s) for s in seeds], batch=None
+        )
+        b = run_many_until_stable(
+            [TwoStateMIS(g, coins=s) for s in seeds], batch="auto"
+        )
+        assert_same_results(a, b)
+
+    def test_int_batch_chunks(self):
+        g = complete_graph(16)
+        seeds = spawn_seeds(4, 9)
+        a = run_many_until_stable(
+            [TwoStateMIS(g, coins=s) for s in seeds], batch=4
+        )
+        b = run_many_until_stable(
+            [TwoStateMIS(g, coins=s) for s in seeds], batch=None
+        )
+        assert_same_results(b, a)
+
+    def test_invalid_batch_rejected(self):
+        g = complete_graph(4)
+        with pytest.raises(ValueError):
+            run_many_until_stable([TwoStateMIS(g, coins=0)], batch=0)
+        with pytest.raises(ValueError):
+            run_many_until_stable([TwoStateMIS(g, coins=0)], batch="fast")
+
+
+class TestBatchableAndValidation:
+    def test_batchable_predicate(self):
+        g = complete_graph(6)
+        assert batchable(TwoStateMIS(g, coins=0))
+        assert not batchable(ThreeColorMIS(g, coins=0))
+        assert not batchable(
+            ScheduledTwoStateMIS(
+                g, coins=0, scheduler=IndependentScheduler(0.5)
+            )
+        )
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            BatchedTwoStateMIS([])
+
+    def test_non_batchable_process_rejected(self):
+        g = complete_graph(6)
+        with pytest.raises(TypeError):
+            BatchedTwoStateMIS([ThreeColorMIS(g, coins=0)])
+
+    def test_mismatched_n_rejected(self):
+        with pytest.raises(ValueError):
+            BatchedTwoStateMIS(
+                [
+                    TwoStateMIS(complete_graph(4), coins=0),
+                    TwoStateMIS(complete_graph(5), coins=1),
+                ]
+            )
+
+    def test_negative_max_rounds_rejected(self):
+        engine = BatchedTwoStateMIS(
+            [TwoStateMIS(complete_graph(4), coins=0)]
+        )
+        with pytest.raises(ValueError):
+            engine.run(-1)
+
+
+class TestMonteCarloIntegration:
+    def test_estimate_identical_across_batch_modes(self):
+        def make(s):
+            rng = np.random.default_rng(s)
+            graph = gnp_random_graph(70, 0.06, rng=rng)
+            return TwoStateMIS(graph, coins=rng)
+
+        kw = dict(trials=25, max_rounds=10_000, seed=13)
+        st_serial = estimate_stabilization_time(make, batch=None, **kw)
+        st_auto = estimate_stabilization_time(make, batch="auto", **kw)
+        st_chunk = estimate_stabilization_time(make, batch=7, **kw)
+        assert np.array_equal(st_serial.times, st_auto.times)
+        assert np.array_equal(st_serial.times, st_chunk.times)
+        assert st_serial.failures == st_auto.failures == st_chunk.failures
+
+    def test_estimate_serial_fallback_for_three_color(self):
+        g = gnp_random_graph(40, 0.1, rng=4)
+        kw = dict(trials=8, max_rounds=50_000, seed=5)
+        st_a = estimate_stabilization_time(
+            lambda s: ThreeColorMIS(g, coins=s), batch="auto", **kw
+        )
+        st_b = estimate_stabilization_time(
+            lambda s: ThreeColorMIS(g, coins=s), batch=None, **kw
+        )
+        assert np.array_equal(st_a.times, st_b.times)
+
+    def test_invalid_batch_rejected(self):
+        g = complete_graph(8)
+        with pytest.raises(ValueError):
+            estimate_stabilization_time(
+                lambda s: TwoStateMIS(g, coins=s),
+                trials=2,
+                max_rounds=10,
+                batch=-3,
+            )
+
+
+def _grid_point_factory(n):
+    """Module-level (hence picklable) make_factory for the n_jobs pool."""
+
+    def factory(s):
+        rng = np.random.default_rng(s)
+        return TwoStateMIS(gnp_random_graph(int(n), 0.1, rng=rng), coins=rng)
+
+    return factory
+
+
+class TestSweepProcessPool:
+    def test_n_jobs_matches_in_process(self):
+        kw = dict(
+            grid=[20, 30, 40], trials=6, max_rounds=10_000, seed=21
+        )
+        solo = sweep_stabilization_times(_grid_point_factory, **kw)
+        pooled = sweep_stabilization_times(
+            _grid_point_factory, n_jobs=2, **kw
+        )
+        assert solo.keys() == pooled.keys()
+        for point in solo:
+            assert np.array_equal(solo[point].times, pooled[point].times)
+            assert solo[point].failures == pooled[point].failures

@@ -109,3 +109,40 @@ class TestFactory:
     def test_auto_large_sparse_graph_sparse(self):
         g = gnp_random_graph(5000, 0.0005, rng=5)
         assert isinstance(make_neighbor_ops(g, "auto"), SparseNeighborOps)
+
+
+class TestCountBatch:
+    def test_matches_rowwise_count(self, backend_cls):
+        g = gnp_random_graph(60, 0.15, rng=8)
+        ops = backend_cls(g)
+        rng = np.random.default_rng(0)
+        masks = rng.random((7, 60)) < 0.4
+        batch = ops.count_batch(masks)
+        assert batch.shape == (7, 60)
+        for r in range(7):
+            assert np.array_equal(
+                np.asarray(batch[r]), np.asarray(ops.count(masks[r]))
+            )
+
+    def test_exists_batch_matches_count_batch(self, backend_cls):
+        g = gnp_random_graph(30, 0.2, rng=3)
+        ops = backend_cls(g)
+        rng = np.random.default_rng(1)
+        masks = rng.random((5, 30)) < 0.5
+        assert np.array_equal(
+            ops.exists_batch(masks), ops.count_batch(masks) > 0
+        )
+
+    def test_empty_batch(self, backend_cls):
+        g = complete_graph(6)
+        ops = backend_cls(g)
+        out = ops.count_batch(np.zeros((0, 6), dtype=bool))
+        assert out.shape == (0, 6)
+
+    def test_bad_shape_rejected(self, backend_cls):
+        g = complete_graph(6)
+        ops = backend_cls(g)
+        with pytest.raises(ValueError):
+            ops.count_batch(np.zeros(6, dtype=bool))
+        with pytest.raises(ValueError):
+            ops.count_batch(np.zeros((2, 5), dtype=bool))

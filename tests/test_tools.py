@@ -40,3 +40,23 @@ def test_checked_in_api_doc_is_fresh():
         TOOLS.parent / "docs" / "API.md"
     ).read_text()
     assert committed == gen_api_docs.render()
+
+
+def test_check_docs_fresh_passes(capsys):
+    import check_docs
+
+    assert check_docs.main([]) == 0
+    assert "up to date" in capsys.readouterr().out
+
+
+def test_check_docs_detects_staleness(monkeypatch, tmp_path, capsys):
+    import check_docs
+
+    stale = tmp_path / "API.md"
+    stale.write_text("# stale contents\n")
+    monkeypatch.setattr(check_docs, "API_MD", stale)
+    assert check_docs.main([]) == 1
+    assert "stale" in capsys.readouterr().out
+    # --fix rewrites the file and then the check passes.
+    assert check_docs.main(["--fix"]) == 0
+    assert check_docs.main([]) == 0

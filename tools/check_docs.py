@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Fail if the committed docs/API.md is stale.
+
+Regenerates the API reference in memory (via :mod:`gen_api_docs`) and
+diffs it against the committed ``docs/API.md``.  Intended for CI and
+pre-commit use::
+
+    PYTHONPATH=src python tools/check_docs.py        # exit 1 if stale
+    PYTHONPATH=src python tools/check_docs.py --fix  # rewrite in place
+
+``make check-docs`` / ``make docs`` wrap the two modes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import gen_api_docs  # noqa: E402
+
+API_MD = pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="rewrite docs/API.md instead of failing when stale",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = gen_api_docs.render()
+    committed = API_MD.read_text() if API_MD.exists() else ""
+    if committed == fresh:
+        print(f"{API_MD} is up to date")
+        return 0
+    if args.fix:
+        API_MD.parent.mkdir(exist_ok=True)
+        API_MD.write_text(fresh)
+        print(f"rewrote {API_MD}")
+        return 0
+    diff = difflib.unified_diff(
+        committed.splitlines(keepends=True),
+        fresh.splitlines(keepends=True),
+        fromfile="docs/API.md (committed)",
+        tofile="docs/API.md (regenerated)",
+    )
+    sys.stdout.writelines(list(diff)[:200])
+    print(
+        "\ndocs/API.md is stale; regenerate with "
+        "`PYTHONPATH=src python tools/gen_api_docs.py` "
+        "(or `python tools/check_docs.py --fix`)."
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
