@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast docs check-docs bench bench-batched ci
+.PHONY: test test-fast docs check-docs bench bench-batched bench-families bench-smoke ci
 
 test:            ## full test suite (tier-1 gate)
 	$(PYTHON) -m pytest -x -q
@@ -21,4 +21,10 @@ bench:           ## full benchmark suite
 bench-batched:   ## serial vs batched trial-engine speedup report
 	$(PYTHON) benchmarks/bench_batched_trials.py
 
-ci: test check-docs   ## what the CI workflow runs
+bench-families:  ## serial vs batched speedups for the 3-state/3-color/scheduled engines
+	$(PYTHON) benchmarks/bench_batched_families.py
+
+ci: test check-docs bench-smoke   ## what the CI workflow runs
+
+bench-smoke:     ## CI-scale batched-engine regression smoke
+	BENCH_FAST=1 $(PYTHON) benchmarks/bench_batched_families.py

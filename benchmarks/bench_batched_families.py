@@ -1,0 +1,161 @@
+"""Batched vs serial Monte-Carlo throughput for the engine family.
+
+The acceptance workload for the process-generic batched engines
+(``repro.core.batched``): 256 independent trials per family on a fixed
+G(n=512, p=0.05), where the batched 3-state and 3-color engines must
+deliver at least 4x the serial trial loop's throughput while producing
+bitwise-identical per-trial results.  The independently-scheduled
+engine and the heterogeneous (per-trial resampled graph) block-diagonal
+path are measured alongside.
+
+Run under pytest-benchmark::
+
+    pytest benchmarks/bench_batched_families.py --benchmark-only
+
+or standalone for a speedup report::
+
+    PYTHONPATH=src python benchmarks/bench_batched_families.py
+
+The ``--fast`` flag (or ``BENCH_FAST=1``) shrinks the workloads for the
+CI smoke step: equivalence is still asserted bitwise — a batched-path
+regression fails the step — but the speedup thresholds are only
+enforced at full scale, where timing noise cannot flake the build.
+"""
+
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.core.schedulers import IndependentScheduler, ScheduledTwoStateMIS
+from repro.core.three_color import ThreeColorMIS
+from repro.core.three_state import ThreeStateMIS
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.sim.montecarlo import estimate_stabilization_time
+
+FAST = bool(int(os.environ.get("BENCH_FAST", "0"))) or "--fast" in sys.argv[1:]
+
+N = 128 if FAST else 512
+P = 0.05
+TRIALS = 32 if FAST else 256
+MAX_ROUNDS = 40_000
+SEED = 1
+#: ISSUE 2 acceptance threshold for the 3-state and 3-color engines.
+MIN_SPEEDUP = 4.0
+
+_GRAPH = gnp_random_graph(N, P, rng=0)
+
+
+def _make_three_state(trial_seed):
+    return ThreeStateMIS(_GRAPH, coins=trial_seed)
+
+
+def _make_three_color(trial_seed):
+    # Experiment-scale switch parameter (see exp_three_color.EXPERIMENT_A).
+    return ThreeColorMIS(_GRAPH, coins=trial_seed, a=16.0)
+
+
+def _make_scheduled(trial_seed):
+    return ScheduledTwoStateMIS(
+        _GRAPH, scheduler=IndependentScheduler(0.5), coins=trial_seed
+    )
+
+
+def _make_three_state_resampled(trial_seed):
+    rng = np.random.default_rng(trial_seed)
+    return ThreeStateMIS(gnp_random_graph(N, P, rng=rng), coins=rng)
+
+
+WORKLOADS = {
+    "3-state": (_make_three_state, TRIALS),
+    "3-color(a=16)": (_make_three_color, TRIALS),
+    "scheduled(q=0.5)": (_make_scheduled, TRIALS),
+    "3-state/resampled": (_make_three_state_resampled, max(TRIALS // 2, 8)),
+}
+
+#: Families whose shared-graph speedup is asserted (at full scale).
+ASSERTED = ("3-state", "3-color(a=16)")
+
+
+def _run(make, trials, batch):
+    return estimate_stabilization_time(
+        make, trials=trials, max_rounds=MAX_ROUNDS, seed=SEED, batch=batch
+    )
+
+
+def _measure(name):
+    """(serial s, batched s, speedup) with bitwise-equivalence assert."""
+    make, trials = WORKLOADS[name]
+    t0 = time.perf_counter()
+    serial = _run(make, trials, None)
+    t1 = time.perf_counter()
+    batched = _run(make, trials, "auto")
+    t2 = time.perf_counter()
+    assert np.array_equal(serial.times, batched.times), (
+        f"{name}: batched results diverge from serial"
+    )
+    assert serial.failures == batched.failures
+    return t1 - t0, t2 - t1, (t1 - t0) / (t2 - t1)
+
+
+def test_three_state_batched(benchmark):
+    stats = benchmark.pedantic(
+        lambda: _run(_make_three_state, TRIALS, "auto"),
+        rounds=3,
+        iterations=1,
+    )
+    assert stats.success_rate == 1.0
+
+
+def test_three_color_batched(benchmark):
+    stats = benchmark.pedantic(
+        lambda: _run(_make_three_color, TRIALS, "auto"),
+        rounds=3,
+        iterations=1,
+    )
+    assert stats.success_rate == 1.0
+
+
+def test_scheduled_batched(benchmark):
+    stats = benchmark.pedantic(
+        lambda: _run(_make_scheduled, TRIALS, "auto"),
+        rounds=3,
+        iterations=1,
+    )
+    assert stats.success_rate == 1.0
+
+
+def test_speedups_meet_acceptance(benchmark):
+    """The ISSUE acceptance criterion, measured end to end."""
+
+    def measure():
+        return {name: _measure(name)[2] for name in ASSERTED}
+
+    speedups = benchmark.pedantic(measure, rounds=1, iterations=1)
+    if not FAST:
+        for name, speedup in speedups.items():
+            assert speedup >= MIN_SPEEDUP, (
+                f"{name} batched speedup only {speedup:.2f}x"
+            )
+
+
+if __name__ == "__main__":
+    mode = "fast (CI smoke)" if FAST else "full"
+    print(f"G(n={N}, p={P}), mode: {mode}")
+    failed = []
+    for name, (make, trials) in WORKLOADS.items():
+        t_serial, t_batched, speedup = _measure(name)
+        print(
+            f"  {name:<18} {trials:>4} trials: "
+            f"serial {t_serial:6.2f}s  batched {t_batched:6.2f}s  "
+            f"speedup {speedup:5.1f}x"
+        )
+        if not FAST and name in ASSERTED and speedup < MIN_SPEEDUP:
+            failed.append((name, speedup))
+    if failed:
+        raise SystemExit(
+            "speedup below acceptance: "
+            + ", ".join(f"{n} at {s:.2f}x" for n, s in failed)
+        )
+    print("  per-trial results bitwise-identical on every workload")

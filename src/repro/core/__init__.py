@@ -27,7 +27,14 @@ from repro.core.states import (
 from repro.core.neighbor_ops import NeighborOps, make_neighbor_ops
 from repro.core.process import MISProcess
 from repro.core.two_state import TwoStateMIS
-from repro.core.batched import BatchedTwoStateMIS, batchable
+from repro.core.batched import (
+    BatchedScheduledTwoStateMIS,
+    BatchedThreeColorMIS,
+    BatchedThreeStateMIS,
+    BatchedTwoStateMIS,
+    batchable,
+    engine_for,
+)
 from repro.core.three_state import ThreeStateMIS
 from repro.core.switch import (
     RandomizedLogSwitch,
@@ -72,7 +79,11 @@ __all__ = [
     "MISProcess",
     "TwoStateMIS",
     "BatchedTwoStateMIS",
+    "BatchedThreeStateMIS",
+    "BatchedThreeColorMIS",
+    "BatchedScheduledTwoStateMIS",
     "batchable",
+    "engine_for",
     "ThreeStateMIS",
     "RandomizedLogSwitch",
     "OracleSwitch",

@@ -1,25 +1,55 @@
-"""Batched trial engine for the 2-state MIS process.
+"""Batched trial engines for the paper's MIS process families.
 
 Monte-Carlo validation of the paper's w.h.p. stabilization bounds needs
 hundreds of independent trials per parameter point.  Running those
 trials one process at a time wastes the hardware: every round of every
 trial is a tiny matrix product plus Python overhead.  This module
-simulates ``R`` independent replicas of :class:`~repro.core.two_state.TwoStateMIS`
-as a single ``(R, n)`` boolean state matrix with *one* vectorized
-neighbour reduction per round (see
-:meth:`repro.core.neighbor_ops.NeighborOps.count_batch`), while keeping
-every replica bitwise-identical to the serial process it wraps.
+simulates ``R`` independent replicas of a process family as a single
+``(R, n)`` state matrix with a handful of vectorized neighbour
+reductions per round (see
+:meth:`repro.core.neighbor_ops.NeighborOps.count_batch` /
+:meth:`~repro.core.neighbor_ops.NeighborOps.max_closed_batch`), while
+keeping every replica bitwise-identical to the serial process it wraps.
+
+Engine family
+-------------
+
+One engine per batchable process family, all sharing the run loop,
+replica retirement and block-compaction machinery of
+:class:`_BatchedMISEngine`:
+
+* :class:`BatchedTwoStateMIS` — plain :class:`~repro.core.two_state.TwoStateMIS`
+  (boolean state matrix, one ``count_batch`` per round);
+* :class:`BatchedThreeStateMIS` — :class:`~repro.core.three_state.ThreeStateMIS`
+  (int8 state matrix, two batched ``exists`` reductions per round);
+* :class:`BatchedThreeColorMIS` — :class:`~repro.core.three_color.ThreeColorMIS`
+  with the randomized logarithmic switch (colors plus a batched
+  :class:`~repro.core.switch.RandomizedLogSwitch`, levels advancing in
+  lockstep with Definition 28's coin order);
+* :class:`BatchedScheduledTwoStateMIS` —
+  :class:`~repro.core.schedulers.ScheduledTwoStateMIS` under the
+  synchronous or independent-participation daemons (per-replica
+  Bernoulli activation masks).
+
+The :data:`dispatch table <_ENGINE_DISPATCH>` maps serial process types
+to engines; :func:`engine_for` / :func:`batchable` are the lookups used
+by :func:`repro.sim.runner.run_many_until_stable` and
+:func:`repro.sim.montecarlo.estimate_stabilization_time` to group
+processes by engine (no hardcoded type checks).
 
 Equivalence contract
 --------------------
 
 Each replica keeps its *own* :class:`~repro.sim.rng.CoinSource` and
-draws exactly one ``bits(n)`` array per simulated round, in the same
-order as the serial engine (§2.1's φ_t discipline).  Neighbour counts
-are exact integer aggregates, so the trajectory of replica ``r`` is
+draws exactly the arrays its serial counterpart would, in the same
+per-replica order (§2.1's φ_t discipline; for the 3-color process the
+main φ_t draw precedes the switch's Bernoulli draw, and for scheduled
+processes the daemon's draw precedes φ_t).  Neighbour aggregates are
+exact integer reductions, so the trajectory of replica ``r`` is
 bitwise-identical to running ``processes[r]`` through
 :func:`repro.sim.runner.run_until_stable` with the same seed — the
-equivalence tests in ``tests/test_batched.py`` pin this.
+equivalence tests in ``tests/test_batched.py`` and
+``tests/test_batched_families.py`` pin this.
 
 Replicas *retire* from the batch as they stabilize (or exhaust the
 round budget): a stabilized replica stops consuming coins and stops
@@ -30,11 +60,11 @@ Graph sharing
 -------------
 
 * If all replicas observe the *same* :class:`~repro.graphs.graph.Graph`
-  object, the reduction is one ``(R, n) × (n, n)`` product against that
-  graph's backend.
+  object, each reduction is one ``(R, n) × (n, n)`` product against
+  that graph's backend.
 * Otherwise (e.g. G(n, p) experiments that resample the graph per
   trial), the replicas' adjacencies are stacked into one block-diagonal
-  CSR matrix and the reduction is a single sparse matvec over the
+  CSR matrix and each reduction is a single sparse matvec over the
   concatenated state vector.  The block matrix is rebuilt (compacted to
   the live replicas) only once at least half its rows have retired, so
   total rebuild cost is amortized logarithmic in ``R``.
@@ -47,18 +77,63 @@ from collections.abc import Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.schedulers import (
+    IndependentScheduler,
+    ScheduledTwoStateMIS,
+    SynchronousScheduler,
+)
+from repro.core.states import (
+    BLACK,
+    BLACK0,
+    BLACK1,
+    GRAY,
+    SWITCH_ON_MAX_LEVEL,
+    WHITE,
+)
+from repro.core.switch import RandomizedLogSwitch
+from repro.core.three_color import ThreeColorMIS
+from repro.core.three_state import ThreeStateMIS
 from repro.core.two_state import TwoStateMIS
 from repro.core.verify import assert_valid_mis
 
+#: Dispatch table: serial process type → batched engine class.  Filled
+#: by :func:`register_engine`; keyed by the *exact* type (subclasses do
+#: not inherit batchability — their ``_advance`` may differ).
+_ENGINE_DISPATCH: dict[type, type["_BatchedMISEngine"]] = {}
+
+
+def register_engine(engine_cls: type["_BatchedMISEngine"]):
+    """Class decorator: register an engine in the dispatch table."""
+    _ENGINE_DISPATCH[engine_cls.process_type] = engine_cls
+    return engine_cls
+
+
+def engine_for(process: object) -> type["_BatchedMISEngine"] | None:
+    """The batched engine class for ``process``, or ``None``.
+
+    Looks the process's exact type up in the dispatch table, then lets
+    the engine veto instances it cannot reproduce bitwise (e.g. a
+    3-color process with an :class:`~repro.core.switch.OracleSwitch`, or
+    a scheduled process under a single-vertex daemon).
+    """
+    engine = _ENGINE_DISPATCH.get(type(process))
+    if engine is not None and engine.accepts(process):
+        return engine
+    return None
+
 
 def batchable(process: object) -> bool:
-    """Whether ``process`` can join a :class:`BatchedTwoStateMIS` batch.
+    """Whether some registered engine can batch ``process``.
 
-    Exactly the plain synchronous 2-state process qualifies; subclasses,
-    scheduled wrappers (:class:`~repro.core.schedulers.ScheduledTwoStateMIS`)
-    and the 3-state/3-color processes fall back to the serial engine.
+    Plain :class:`~repro.core.two_state.TwoStateMIS`,
+    :class:`~repro.core.three_state.ThreeStateMIS`,
+    :class:`~repro.core.three_color.ThreeColorMIS` (with the randomized
+    switch on the same graph) and
+    :class:`~repro.core.schedulers.ScheduledTwoStateMIS` (under the
+    synchronous or independent daemons) qualify; everything else falls
+    back to the serial engine.
     """
-    return type(process) is TwoStateMIS
+    return engine_for(process) is not None
 
 
 def _stack_block_diag(blocks: list, n: int) -> sp.csr_matrix:
@@ -86,41 +161,41 @@ def _stack_block_diag(blocks: list, n: int) -> sp.csr_matrix:
     return sp.csr_matrix((data, indices, indptr), shape=(size, size))
 
 
-class BatchedTwoStateMIS:
-    """``R`` independent 2-state MIS replicas advanced in lockstep.
+class _BatchedMISEngine:
+    """Shared machinery of the batched engines (see module docs).
 
-    Parameters
-    ----------
-    processes:
-        Non-empty sequence of :class:`~repro.core.two_state.TwoStateMIS`
-        instances, all on graphs with the same vertex count ``n``.  The
-        engine adopts each process's current state and coin source;
-        after :meth:`run` the final states and round counters are
-        written back, so the wrapped processes end up exactly as if they
-        had been run serially.
-
-    Notes
-    -----
-    Construct the processes first (their constructors consume the
-    initial-state coin draws), then batch them.  The convenience entry
-    points are :func:`repro.sim.runner.run_many_until_stable` and
-    :func:`repro.sim.montecarlo.estimate_stabilization_time`
-    (``batch="auto"``), which handle grouping and serial fallback.
+    Subclasses set :attr:`process_type` and implement the four-hook
+    contract: :meth:`_gather` (adopt per-replica state into ``(R, n)``
+    arrays), :meth:`_black_rows` (black mask of selected replicas),
+    :meth:`_advance_rows` (one synchronous round for the live replicas,
+    drawing each replica's coins from its own source), and
+    :meth:`_writeback_states` (sync final states into the wrapped
+    processes).  The base class owns the run loop: stabilization
+    detection, replica retirement, round budgets, and the shared-graph /
+    block-diagonal reduction paths.
     """
+
+    #: Serial process type this engine batches (subclasses override).
+    process_type: type | None = None
 
     #: Compact the block-diagonal adjacency once the live fraction of
     #: its rows drops below this threshold.
     _COMPACT_THRESHOLD = 0.5
 
-    def __init__(self, processes: Sequence[TwoStateMIS]) -> None:
+    @classmethod
+    def accepts(cls, process: object) -> bool:
+        """Whether this engine can reproduce ``process`` bitwise."""
+        return type(process) is cls.process_type
+
+    def __init__(self, processes: Sequence) -> None:
         processes = list(processes)
         if not processes:
             raise ValueError("need at least one process to batch")
         for p in processes:
-            if not batchable(p):
+            if not self.accepts(p):
                 raise TypeError(
-                    f"cannot batch {type(p).__name__}; only plain "
-                    "TwoStateMIS processes are batchable"
+                    f"{type(self).__name__} cannot batch "
+                    f"{type(p).__name__} instances"
                 )
         n = processes[0].n
         if any(p.n != n for p in processes):
@@ -131,18 +206,45 @@ class BatchedTwoStateMIS:
         self.shared_graph = all(
             p.graph is processes[0].graph for p in processes
         )
-        self._black = np.stack([p.black for p in processes])
-        self._eager = np.array(
-            [p.eager_white_promotion for p in processes], dtype=bool
-        )
         self._rounds = np.array([p.round for p in processes], dtype=np.int64)
         self._ops = processes[0].ops if self.shared_graph else None
         self._block: sp.csr_matrix | None = None
         self._scratch: np.ndarray | None = None
         self._block_size = 0
+        self._gather()
 
     # ------------------------------------------------------------------
-    # Batched neighbour reduction
+    # Subclass contract
+    # ------------------------------------------------------------------
+    def _gather(self) -> None:
+        """Adopt the wrapped processes' state into ``(R, n)`` arrays."""
+        raise NotImplementedError
+
+    def _black_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Boolean black mask of the selected replicas (``B_t`` rows)."""
+        raise NotImplementedError
+
+    def _advance_rows(
+        self,
+        live: np.ndarray,
+        pos: np.ndarray | None,
+        black: np.ndarray,
+        counts: np.ndarray,
+    ) -> None:
+        """One synchronous round for the ``live`` replicas.
+
+        ``black`` and ``counts`` are the current black mask and
+        black-neighbour counts of the live rows (cached from the end of
+        the previous round, saving one reduction per round).
+        """
+        raise NotImplementedError
+
+    def _writeback_states(self) -> None:
+        """Sync final per-replica states into the wrapped processes."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Batched neighbour reductions
     # ------------------------------------------------------------------
     def _rebuild_block(self, live: np.ndarray) -> None:
         """Compact the block-diagonal adjacency to the ``live`` replicas."""
@@ -156,7 +258,7 @@ class BatchedTwoStateMIS:
         self._block_size = live.size
         self._scratch = np.zeros((live.size, self.n), dtype=np.int32)
 
-    def _count_black_nbrs(
+    def _count_nbrs(
         self, masks: np.ndarray, pos: np.ndarray | None
     ) -> np.ndarray:
         """``out[i, u] = |N(u) ∩ masks[i]|`` for each selected replica.
@@ -171,6 +273,30 @@ class BatchedTwoStateMIS:
         self._scratch[pos] = masks
         counts = self._block.dot(self._scratch.reshape(-1))
         return counts.reshape(self._block_size, self.n)[pos]
+
+    def _exists_nbrs(
+        self, masks: np.ndarray, pos: np.ndarray | None
+    ) -> np.ndarray:
+        """Batched ``exists``: whether some neighbour is in the mask."""
+        return self._count_nbrs(masks, pos) > 0
+
+    def _max_closed_rows(
+        self, values: np.ndarray, pos: np.ndarray | None
+    ) -> np.ndarray:
+        """``out[i, u] = max over N+(u) of values[i, w]`` per replica.
+
+        Shared-graph path: one :meth:`NeighborOps.max_closed_batch`
+        call.  Block path: the same level-set probes expressed as
+        block-diagonal reductions (values take few distinct levels —
+        switch levels 0..5 — so this is a handful of matvecs).
+        """
+        if self.shared_graph:
+            return self._ops.max_closed_batch(values)
+        out = values.astype(np.int64).copy()  # self is included in N+.
+        for level in np.unique(values):
+            has = self._exists_nbrs(values >= level, pos)
+            out[has & (out < level)] = level
+        return out
 
     # ------------------------------------------------------------------
     # Run loop
@@ -193,7 +319,7 @@ class BatchedTwoStateMIS:
         covered_all = np.zeros(black.shape[0], dtype=bool)
         if candidates.any():
             sub = np.flatnonzero(candidates)
-            nbr_stable = self._count_black_nbrs(
+            nbr_stable = self._count_nbrs(
                 stable_black[sub], None if pos is None else pos[sub]
             )
             covered = stable_black[sub] | (nbr_stable > 0)
@@ -227,7 +353,7 @@ class BatchedTwoStateMIS:
         def retire(rows: np.ndarray) -> None:
             for r in rows:
                 r = int(r)
-                mis = np.flatnonzero(self._black[r])
+                mis = np.flatnonzero(self._black_rows(np.array([r]))[0])
                 if verify:
                     assert_valid_mis(self.processes[r].graph, mis)
                 elapsed = int(self._rounds[r] - start_rounds[r])
@@ -243,8 +369,8 @@ class BatchedTwoStateMIS:
         if not self.shared_graph:
             self._rebuild_block(live)
             pos = np.arange(self.replicas)
-        black = self._black[live]
-        counts = self._count_black_nbrs(black, pos)
+        black = self._black_rows(live)
+        counts = self._count_nbrs(black, pos)
         covered = self._covered_rows(black, counts, pos)
         retire(live[covered])
         keep = ~covered
@@ -273,25 +399,13 @@ class BatchedTwoStateMIS:
                 if not live.size:
                     break
 
-            # One synchronous round; the cached `counts` are the
-            # black-neighbour counts of the current configuration.
-            has_black_nbr = counts > 0
-            active = np.where(black, has_black_nbr, ~has_black_nbr)
-            phi = np.empty_like(black)
-            for i, r in enumerate(live):
-                phi[i] = self.processes[r].coins.bits(self.n)
-            eager = self._eager[live]
-            if eager.any():
-                # Ablation replicas: active white vertices promote with
-                # probability 1 (their coin is drawn but ignored).
-                promote = active & ~black & eager[:, None]
-                black = np.where(active, phi, black) | promote
-            else:
-                black = np.where(active, phi, black)
-            self._black[live] = black
+            # One synchronous round; the cached `black`/`counts` are the
+            # mask and black-neighbour counts of the current configuration.
+            self._advance_rows(live, pos, black, counts)
             self._rounds[live] += 1
 
-            counts = self._count_black_nbrs(black, pos)
+            black = self._black_rows(live)
+            counts = self._count_nbrs(black, pos)
             covered = self._covered_rows(black, counts, pos)
             retire(live[covered])
             keep = ~covered
@@ -305,14 +419,256 @@ class BatchedTwoStateMIS:
         self._writeback()
         return results
 
+    def _phi_rows(self, live: np.ndarray) -> np.ndarray:
+        """One ``bits(n)`` draw per live replica, in replica order."""
+        phi = np.empty((live.size, self.n), dtype=bool)
+        for i, r in enumerate(live):
+            phi[i] = self.processes[r].coins.bits(self.n)
+        return phi
+
     def _writeback(self) -> None:
         """Sync final states and round counters into the wrapped processes."""
+        self._writeback_states()
         for r, process in enumerate(self.processes):
-            process.black = self._black[r].copy()
             process.round = int(self._rounds[r])
 
     def __repr__(self) -> str:
         return (
-            f"BatchedTwoStateMIS(replicas={self.replicas}, n={self.n}, "
+            f"{type(self).__name__}(replicas={self.replicas}, n={self.n}, "
             f"shared_graph={self.shared_graph})"
         )
+
+
+@register_engine
+class BatchedTwoStateMIS(_BatchedMISEngine):
+    """``R`` independent 2-state MIS replicas advanced in lockstep.
+
+    Parameters
+    ----------
+    processes:
+        Non-empty sequence of :class:`~repro.core.two_state.TwoStateMIS`
+        instances, all on graphs with the same vertex count ``n``.  The
+        engine adopts each process's current state and coin source;
+        after :meth:`run` the final states and round counters are
+        written back, so the wrapped processes end up exactly as if they
+        had been run serially.
+
+    Notes
+    -----
+    Construct the processes first (their constructors consume the
+    initial-state coin draws), then batch them.  The convenience entry
+    points are :func:`repro.sim.runner.run_many_until_stable` and
+    :func:`repro.sim.montecarlo.estimate_stabilization_time`
+    (``batch="auto"``), which handle grouping and serial fallback.
+    """
+
+    process_type = TwoStateMIS
+
+    def _gather(self) -> None:
+        self._black = np.stack([p.black for p in self.processes])
+        self._eager = np.array(
+            [p.eager_white_promotion for p in self.processes], dtype=bool
+        )
+
+    def _black_rows(self, rows: np.ndarray) -> np.ndarray:
+        return self._black[rows]
+
+    def _advance_rows(self, live, pos, black, counts) -> None:
+        has_black_nbr = counts > 0
+        active = np.where(black, has_black_nbr, ~has_black_nbr)
+        phi = self._phi_rows(live)
+        eager = self._eager[live]
+        if eager.any():
+            # Ablation replicas: active white vertices promote with
+            # probability 1 (their coin is drawn but ignored).
+            promote = active & ~black & eager[:, None]
+            self._black[live] = np.where(active, phi, black) | promote
+        else:
+            self._black[live] = np.where(active, phi, black)
+
+    def _writeback_states(self) -> None:
+        for r, process in enumerate(self.processes):
+            process.black = self._black[r].copy()
+
+
+@register_engine
+class BatchedThreeStateMIS(_BatchedMISEngine):
+    """``R`` independent 3-state MIS replicas advanced in lockstep.
+
+    The state matrix is int8 over {WHITE, BLACK0, BLACK1}; each round
+    costs two batched ``exists`` reductions (black neighbours — reused
+    from the stabilization check — and black1 neighbours) plus one
+    ``bits(n)`` draw per replica, exactly mirroring
+    :meth:`repro.core.three_state.ThreeStateMIS._advance`.
+    """
+
+    process_type = ThreeStateMIS
+
+    def _gather(self) -> None:
+        self._states = np.stack([p.states for p in self.processes])
+
+    def _black_rows(self, rows: np.ndarray) -> np.ndarray:
+        return self._states[rows] != WHITE
+
+    def _advance_rows(self, live, pos, black, counts) -> None:
+        states = self._states[live]
+        is_black1 = states == BLACK1
+        is_black0 = states == BLACK0
+        is_white = states == WHITE
+        has_black1_nbr = self._exists_nbrs(is_black1, pos)
+        has_black_nbr = counts > 0
+        randomize = (
+            is_black1
+            | (is_black0 & ~has_black1_nbr)
+            | (is_white & ~has_black_nbr)
+        )
+        demote = is_black0 & ~randomize  # black0 hearing a black1 beep
+        phi = self._phi_rows(live)
+        new_states = states.copy()
+        new_states[randomize & phi] = BLACK1
+        new_states[randomize & ~phi] = BLACK0
+        new_states[demote] = WHITE
+        self._states[live] = new_states
+
+    def _writeback_states(self) -> None:
+        for r, process in enumerate(self.processes):
+            process.states = self._states[r].copy()
+
+
+@register_engine
+class BatchedThreeColorMIS(_BatchedMISEngine):
+    """``R`` independent 3-color MIS replicas advanced in lockstep.
+
+    Batches the color matrix *and* the per-replica
+    :class:`~repro.core.switch.RandomizedLogSwitch` levels: the switch
+    update's ``max over N+(u)`` diffusion runs as one
+    :meth:`~repro.core.neighbor_ops.NeighborOps.max_closed_batch`
+    aggregate over the ``(R, n)`` level matrix.  Per replica and per
+    round the coin order is Definition 28's: the main process draws
+    φ_t = ``bits(n)`` first, then the switch draws ``bernoulli(n, ζ)``
+    — and the color update reads σ_{t-1} (the levels *before* the
+    switch advances).
+
+    Only processes whose switch is a plain ``RandomizedLogSwitch`` on
+    the same graph are accepted (:class:`~repro.core.switch.OracleSwitch`
+    and cross-graph switches fall back to the serial engine); ζ may
+    differ between replicas.
+    """
+
+    process_type = ThreeColorMIS
+
+    @classmethod
+    def accepts(cls, process: object) -> bool:
+        return (
+            type(process) is ThreeColorMIS
+            and type(process.switch) is RandomizedLogSwitch
+            and process.switch.graph is process.graph
+        )
+
+    def _gather(self) -> None:
+        self._colors = np.stack([p.colors for p in self.processes])
+        self._levels = np.stack([p.switch.levels for p in self.processes])
+        self._switch_rounds = np.array(
+            [p.switch.round for p in self.processes], dtype=np.int64
+        )
+
+    def _black_rows(self, rows: np.ndarray) -> np.ndarray:
+        return self._colors[rows] == BLACK
+
+    def _advance_rows(self, live, pos, black, counts) -> None:
+        colors = self._colors[live]
+        levels = self._levels[live]
+        white = colors == WHITE
+        gray = colors == GRAY
+        has_black_nbr = counts > 0
+        sigma = levels <= SWITCH_ON_MAX_LEVEL  # σ_{t-1}
+
+        conflicted_black = black & has_black_nbr
+        lonely_white = white & ~has_black_nbr
+        waking_gray = gray & sigma
+
+        phi = self._phi_rows(live)
+        new_colors = colors.copy()
+        # Conflicted black → coin ? black : gray.
+        new_colors[conflicted_black & ~phi] = GRAY
+        # Lonely white → coin ? black : white.
+        new_colors[lonely_white & phi] = BLACK
+        # Gray with switch on → white.
+        new_colors[waking_gray] = WHITE
+        self._colors[live] = new_colors
+
+        # Switch step (Definition 26), after the main φ_t draws.
+        at_five = levels == 5
+        at_zero = levels == 0
+        b_zero = np.empty((live.size, self.n), dtype=bool)
+        for i, r in enumerate(live):
+            switch = self.processes[r].switch
+            b_zero[i] = switch.coins.bernoulli(self.n, switch.zeta)
+        stay_five = at_five & ~b_zero  # b = 1 → remain at level 5
+        reset_to_five = stay_five | at_zero
+        nbr_max = self._max_closed_rows(levels, pos)
+        self._levels[live] = np.where(
+            reset_to_five, 5, np.maximum(nbr_max - 1, 0)
+        ).astype(np.int8)
+        self._switch_rounds[live] += 1
+
+    def _writeback_states(self) -> None:
+        for r, process in enumerate(self.processes):
+            process.colors = self._colors[r].copy()
+            process.switch.levels = self._levels[r].copy()
+            process.switch.round = int(self._switch_rounds[r])
+
+
+@register_engine
+class BatchedScheduledTwoStateMIS(_BatchedMISEngine):
+    """``R`` independent scheduled 2-state replicas advanced in lockstep.
+
+    Supports the coin-free :class:`~repro.core.schedulers.SynchronousScheduler`
+    and the :class:`~repro.core.schedulers.IndependentScheduler` daemon
+    (one ``bernoulli(n, q)`` activation mask per replica per round,
+    drawn *before* the replica's φ_t — the serial coin order).  The
+    single-vertex daemons are state-dependent and stay on the serial
+    path; ``q`` may differ between replicas.
+    """
+
+    process_type = ScheduledTwoStateMIS
+
+    @classmethod
+    def accepts(cls, process: object) -> bool:
+        return type(process) is ScheduledTwoStateMIS and type(
+            process.scheduler
+        ) in (SynchronousScheduler, IndependentScheduler)
+
+    def _gather(self) -> None:
+        self._black = np.stack([p.black for p in self.processes])
+        # q per replica; NaN marks the synchronous (draw-free) daemon.
+        self._q = np.array(
+            [
+                p.scheduler.q
+                if isinstance(p.scheduler, IndependentScheduler)
+                else np.nan
+                for p in self.processes
+            ],
+            dtype=np.float64,
+        )
+
+    def _black_rows(self, rows: np.ndarray) -> np.ndarray:
+        return self._black[rows]
+
+    def _advance_rows(self, live, pos, black, counts) -> None:
+        selected = np.ones((live.size, self.n), dtype=bool)
+        for i, r in enumerate(live):
+            q = self._q[r]
+            if not np.isnan(q):
+                selected[i] = self.processes[r].coins.bernoulli(self.n, q)
+        has_black_nbr = counts > 0
+        rule_enabled = np.where(black, has_black_nbr, ~has_black_nbr)
+        active = rule_enabled & selected
+        phi = self._phi_rows(live)
+        new_black = black.copy()
+        new_black[active] = phi[active]
+        self._black[live] = new_black
+
+    def _writeback_states(self) -> None:
+        for r, process in enumerate(self.processes):
+            process.black = self._black[r].copy()

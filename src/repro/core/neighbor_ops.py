@@ -90,6 +90,23 @@ class NeighborOps:
             out[has & (out < level)] = level
         return out
 
+    def max_closed_batch(self, values: np.ndarray) -> np.ndarray:
+        """Batched :meth:`max_closed` over ``R`` replica value rows.
+
+        ``values`` has shape ``(R, n)``; the result has the same shape
+        with ``out[r, u] = max over N+(u) of values[r, w]``.  Implemented
+        with the same level-set probes as :meth:`max_closed`, but each
+        probe is one batched ``exists`` reduction over all replicas —
+        the aggregate behind the batched randomized-switch engine
+        (:class:`repro.core.batched.BatchedThreeColorMIS`).
+        """
+        values = self._validate_masks(np.asarray(values))
+        out = values.astype(np.int64).copy()  # self is included in N+.
+        for level in np.unique(values):
+            has = self.exists_batch(values >= level)
+            out[has & (out < level)] = level
+        return out
+
 
 class DenseNeighborOps(NeighborOps):
     """Dense adjacency-matrix backend (int8 matrix, int32 matvec)."""

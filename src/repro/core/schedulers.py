@@ -68,41 +68,44 @@ class SingleVertexScheduler(Scheduler):
     """One uniformly random vertex per round (randomized central daemon).
 
     Selection is derived from the process's coin source to keep runs
-    reproducible: it draws ⌈log₂ n⌉ coin arrays and assembles a random
-    index (slight modulo bias is irrelevant for a daemon).
+    reproducible: one ``bits(⌈log₂ n⌉)`` array per round is assembled
+    into a random index (slight modulo bias is irrelevant for a
+    daemon).  Earlier versions drew ⌈log₂ n⌉ separate ``bits(1)``
+    arrays; with a PRNG-backed :class:`~repro.sim.rng.CoinSource` the
+    single draw consumes the identical bit stream, but scripted coin
+    sources now see one length-⌈log₂ n⌉ draw per round (the trajectory
+    is pinned by ``tests/test_schedulers.py``).
     """
 
     def select(self, process):
         n = process.n
         bits_needed = max(1, int(np.ceil(np.log2(max(n, 2)))))
-        raw = np.zeros(1, dtype=np.int64)
-        for b in range(bits_needed):
-            raw += int(process.coins.bits(1)[0]) << b
-        index = int(raw[0]) % n
+        draws = process.coins.bits(bits_needed)
+        weights = np.left_shift(
+            np.int64(1), np.arange(bits_needed, dtype=np.int64)
+        )
+        index = int(draws.astype(np.int64) @ weights) % n
         mask = np.zeros(n, dtype=bool)
         mask[index] = True
         return mask
 
 
 class AdversarialGreedyScheduler(Scheduler):
-    """Churn-maximizing single-vertex adversary (weakly fair)."""
+    """Churn-maximizing single-vertex adversary (weakly fair).
+
+    Deterministic: activates the enabled vertex with the most enabled
+    neighbours (ties → largest vertex id), computed as one
+    ``ops.count(enabled)`` reduction instead of a per-vertex Python
+    neighbour loop — same selections, O(n²)→O(reduction) per round.
+    """
 
     def select(self, process):
         enabled = process.active_mask()
         mask = np.zeros(process.n, dtype=bool)
         if not enabled.any():
             return mask
-        best_u = -1
-        best_score = -1
-        for u in np.flatnonzero(enabled):
-            score = sum(
-                1 for v in process.graph.neighbors(int(u)) if enabled[v]
-            )
-            if score > best_score or (
-                score == best_score and int(u) > best_u
-            ):
-                best_score = score
-                best_u = int(u)
+        scores = np.where(enabled, process.ops.count(enabled), -1)
+        best_u = int(np.flatnonzero(scores == scores.max()).max())
         mask[best_u] = True
         return mask
 

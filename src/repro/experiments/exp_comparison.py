@@ -17,6 +17,12 @@ Checks (who-wins shape, Appendix B positioning):
 * All randomized processes produce valid MISes on every graph.
 * The sequential algorithm's moves grow linearly in n while the
   parallel processes' rounds grow polylogarithmically.
+
+Execution: the 2-state, 3-state and 3-color campaigns all ride their
+batched engines (the dispatch table of :mod:`repro.core.batched`)
+under the default ``batch="auto"`` of
+:func:`estimate_stabilization_time`; Luby and the sequential baseline
+are round-/move-counted algorithms with their own loops.
 """
 
 from __future__ import annotations

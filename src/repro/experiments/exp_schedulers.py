@@ -15,6 +15,13 @@ scale like ~1/q for independent participation (each vertex needs the
 same number of *activations*, delivered q per round), and (c) the
 single-vertex daemons take Θ(n)-ish rounds (sequential bottleneck) —
 the quantitative content of "parallelism buys the log n".
+
+Execution: the synchronous and independent-participation campaigns
+ride the batched fast path
+(:class:`~repro.core.batched.BatchedScheduledTwoStateMIS`, one
+Bernoulli activation mask per replica per round) under the default
+``batch="auto"``; the state-dependent single-vertex daemons stay on
+the serial path.
 """
 
 from __future__ import annotations

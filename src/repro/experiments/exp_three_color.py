@@ -17,6 +17,14 @@ Note on constants: Definition 28 fixes a = 512, making the switch period
 (documented in the output) to keep the constant factors observable; the
 *shape* claims are unaffected (Lemma 27's proof only needs ζ <= 1/2,
 i.e. a >= 8).
+
+Execution: every trial campaign here rides the batched fast path —
+the factories build plain :class:`ThreeColorMIS` processes with the
+randomized switch (grouped onto
+:class:`~repro.core.batched.BatchedThreeColorMIS`) and plain
+:class:`TwoStateMIS` processes
+(:class:`~repro.core.batched.BatchedTwoStateMIS`) under the default
+``batch="auto"`` of :func:`estimate_stabilization_time`.
 """
 
 from __future__ import annotations

@@ -12,6 +12,13 @@ G(n,p), measuring the 3-state process and checking (a) mean/ln n stays
 in a constant band everywhere — the O(log n) belief — and (b) it is
 never meaningfully slower than the 2-state process (Mann-Whitney,
 one-sided, at the largest size per family).
+
+Execution: both process families ride the batched fast path
+(:class:`~repro.core.batched.BatchedThreeStateMIS` /
+:class:`~repro.core.batched.BatchedTwoStateMIS`) under the default
+``batch="auto"`` of :func:`estimate_stabilization_time` — including
+the per-trial resampled tree and G(n,p) factories, which take the
+block-diagonal path.
 """
 
 from __future__ import annotations

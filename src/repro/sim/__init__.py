@@ -15,6 +15,7 @@ from repro.sim.metrics import (
     stabilization_profile,
 )
 from repro.sim.montecarlo import (
+    SweepResult,
     TrialStats,
     estimate_stabilization_time,
     sweep_stabilization_times,
@@ -34,6 +35,7 @@ __all__ = [
     "ProgressCurve",
     "progress_curve",
     "stabilization_profile",
+    "SweepResult",
     "TrialStats",
     "estimate_stabilization_time",
     "sweep_stabilization_times",

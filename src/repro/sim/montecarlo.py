@@ -7,18 +7,23 @@ distribution; :func:`sweep_stabilization_times` maps that over a
 parameter grid (the engine behind every n-sweep experiment).
 
 Trials are independent, so by default (``batch="auto"``) they execute on
-the vectorized batched engine
-(:class:`repro.core.batched.BatchedTwoStateMIS`): the factory's
-processes are built in seed order exactly as the serial loop would
-build them, then all batchable ones advance together as one state
-matrix.  Per-trial results are bitwise-identical to ``batch=None``;
-non-batchable processes (3-color, scheduled wrappers, ...) silently
-take the serial path.  ``sweep_stabilization_times`` adds an opt-in
-``n_jobs`` process pool across grid points for multi-core sweeps.
+the vectorized batched engine family of :mod:`repro.core.batched`: the
+factory's processes are built in seed order exactly as the serial loop
+would build them, then all batchable ones (2-state, 3-state, 3-color
+with the randomized switch, independently-scheduled — see the dispatch
+table) advance together as one state matrix.  Per-trial results are
+bitwise-identical to ``batch=None``; non-batchable processes (oracle
+switches, single-vertex daemons, reference implementations, ...)
+silently take the serial path.  ``sweep_stabilization_times`` adds an
+opt-in ``n_jobs`` process pool across grid points for multi-core
+sweeps.
 """
 
 from __future__ import annotations
 
+import pickle
+import warnings
+from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import Callable
 
@@ -148,9 +153,11 @@ def estimate_stabilization_time(
         :data:`AUTO_BATCH_CHUNK` trials at a time on the batched engine,
         an ``int`` sets that chunk size explicitly, and ``None`` forces
         the serial trial loop.  All three produce identical statistics.
-        Factories producing non-batchable processes (3-color, scheduled
-        wrappers, ...) are detected from the first trial and routed to
-        the serial loop without up-front chunk construction.
+        Factories producing non-batchable processes (oracle-switch
+        3-color, single-vertex daemons, reference implementations, ...)
+        are detected from the first trial and routed to the serial loop
+        without up-front chunk construction; batchable families (see
+        :mod:`repro.core.batched`) ride their engine automatically.
     """
     from repro.core.batched import batchable
 
@@ -202,6 +209,57 @@ def estimate_stabilization_time(
     )
 
 
+class SweepResult(Mapping):
+    """Grid-aligned results of :func:`sweep_stabilization_times`.
+
+    Behaves like the mapping ``{grid point: TrialStats}`` (``keys`` /
+    ``values`` / ``items`` / ``[]`` over the *distinct* points, in grid
+    order), while :attr:`entries` preserves one ``(point, TrialStats)``
+    pair per grid entry even when points repeat — the plain-``dict``
+    return of earlier versions silently collapsed duplicates, dropping
+    whole trial campaigns.  With duplicate points, mapping lookups
+    return the first occurrence's stats and a :class:`UserWarning` is
+    emitted at construction.
+    """
+
+    def __init__(self, points: list, stats: list) -> None:
+        #: One ``(point, TrialStats)`` pair per grid entry, in grid order.
+        self.entries: list[tuple] = list(zip(points, stats))
+        self._map: dict = {}
+        duplicates = []
+        for point, point_stats in self.entries:
+            if point in self._map:
+                duplicates.append(point)
+            else:
+                self._map[point] = point_stats
+        if duplicates:
+            # stacklevel 3: __init__ → sweep_stabilization_times (the
+            # only in-repo constructor) → the user's sweep call.
+            warnings.warn(
+                f"duplicate grid points {sorted(set(duplicates))!r}: "
+                "mapping lookups return the first occurrence; iterate "
+                ".entries for the full per-grid-entry results",
+                UserWarning,
+                stacklevel=3,
+            )
+
+    def stats_for(self, point) -> list:
+        """All :class:`TrialStats` recorded for ``point``, in grid order."""
+        return [s for p, s in self.entries if p == point]
+
+    def __getitem__(self, point):
+        return self._map[point]
+
+    def __iter__(self):
+        return iter(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __repr__(self) -> str:
+        return f"SweepResult({self.entries!r})"
+
+
 def _sweep_point(payload: tuple) -> TrialStats:
     """Evaluate one grid point (module-level so process pools can pickle it)."""
     make_factory, point, trials, budget, point_seed, batch = payload
@@ -222,7 +280,7 @@ def sweep_stabilization_times(
     seed: int | None = 0,
     batch: str | int | None = "auto",
     n_jobs: int | None = None,
-) -> dict:
+) -> SweepResult:
     """Estimate stabilization times over a parameter grid.
 
     Parameters
@@ -230,7 +288,11 @@ def sweep_stabilization_times(
     make_factory:
         Maps a grid point to a ``process_factory(trial_seed)``.
     grid:
-        Parameter values (e.g. a list of n).
+        Parameter values (e.g. a list of n).  Repeated points are
+        evaluated independently (each grid entry gets its own derived
+        seed) and all results are preserved in the returned
+        :attr:`SweepResult.entries`; a warning flags the ambiguity of
+        mapping-style lookups.
     trials, seed:
         Passed to :func:`estimate_stabilization_time` (the seed is
         re-derived per grid point for independence).
@@ -243,12 +305,15 @@ def sweep_stabilization_times(
         Opt-in process-pool width across *grid points*.  ``None`` or
         ``1`` evaluates points in-process; ``>= 2`` fans points out to a
         ``ProcessPoolExecutor``, which requires ``make_factory`` to be
-        picklable (a module-level function — local lambdas stay on the
-        in-process path).  Results are identical either way.
+        picklable.  Unpicklable factories (local lambdas/closures) are
+        detected up front and fall back to the in-process path with a
+        :class:`RuntimeWarning` instead of crashing mid-sweep.  Results
+        are identical either way.
 
     Returns
     -------
-    dict mapping each grid point to its :class:`TrialStats`.
+    SweepResult — a mapping from grid point to :class:`TrialStats`,
+    with ``.entries`` carrying one result per grid entry.
     """
     point_seeds = spawn_seeds(seed, len(grid))
     payloads = []
@@ -257,11 +322,27 @@ def sweep_stabilization_times(
         payloads.append(
             (make_factory, point, trials, budget, point_seed, batch)
         )
-    if n_jobs is not None and n_jobs >= 2:
+    use_pool = n_jobs is not None and n_jobs >= 2
+    if use_pool:
+        # A ProcessPoolExecutor pickles each payload; a lambda/closure
+        # make_factory would raise PicklingError from deep inside the
+        # pool, so probe up front and degrade gracefully.
+        try:
+            pickle.dumps(make_factory)
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            warnings.warn(
+                f"make_factory is not picklable ({exc}); evaluating the "
+                "sweep in-process (n_jobs ignored). Use a module-level "
+                "factory function to enable the process pool.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            use_pool = False
+    if use_pool:
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=n_jobs) as pool:
             stats = list(pool.map(_sweep_point, payloads))
     else:
         stats = [_sweep_point(payload) for payload in payloads]
-    return dict(zip(grid, stats))
+    return SweepResult(list(grid), stats)

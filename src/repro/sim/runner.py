@@ -7,10 +7,11 @@ round at the end of which all vertices are stable — exactly the paper's
 definition — found by checking the predicate after every round.
 
 For Monte-Carlo campaigns, :func:`run_many_until_stable` runs a whole
-list of independent processes, routing batchable ones (plain
-:class:`~repro.core.two_state.TwoStateMIS`) through the vectorized
-:class:`~repro.core.batched.BatchedTwoStateMIS` engine and everything
-else through the serial loop, with results bitwise-identical either way.
+list of independent processes, routing batchable ones (2-state,
+3-state, 3-color and independently-scheduled processes — see the
+dispatch table in :mod:`repro.core.batched`) through the matching
+vectorized engine and everything else through the serial loop, with
+results bitwise-identical either way.
 """
 
 from __future__ import annotations
@@ -148,12 +149,14 @@ def run_many_until_stable(
 ) -> list[RunResult]:
     """Run many independent processes to stabilization, batching when possible.
 
-    Batchable processes (see :func:`repro.core.batched.batchable`) with
-    a common vertex count are simulated together as an ``(R, n)`` state
-    matrix by :class:`~repro.core.batched.BatchedTwoStateMIS`; all other
-    processes go through :func:`run_until_stable` one at a time.  Every
-    process produces the exact trajectory it would have produced
-    serially, so the two paths are interchangeable.
+    Batchable processes (see :func:`repro.core.batched.batchable`) are
+    grouped by engine family and common vertex count — via the dispatch
+    table of :mod:`repro.core.batched`, so 2-state, 3-state, 3-color and
+    independently-scheduled processes each ride their own ``(R, n)``
+    lockstep engine — and everything else goes through
+    :func:`run_until_stable` one at a time.  Every process produces the
+    exact trajectory it would have produced serially, so the two paths
+    are interchangeable.
 
     Parameters
     ----------
@@ -171,19 +174,20 @@ def run_many_until_stable(
     list[RunResult] in input order (no traces; use
     :func:`run_until_stable` directly to record trajectories).
     """
-    from repro.core.batched import BatchedTwoStateMIS, batchable
+    from repro.core.batched import engine_for
 
     processes = list(processes)
     validate_batch(batch)
     results: list[RunResult | None] = [None] * len(processes)
 
-    groups: dict[int, list[int]] = {}
+    groups: dict[tuple[type, int], list[int]] = {}
     if batch is not None:
         for idx, process in enumerate(processes):
-            if batchable(process):
-                groups.setdefault(process.n, []).append(idx)
+            engine_cls = engine_for(process)
+            if engine_cls is not None:
+                groups.setdefault((engine_cls, process.n), []).append(idx)
     batched_indices = set()
-    for indices in groups.values():
+    for (engine_cls, _n), indices in groups.items():
         if len(indices) < 2:
             continue  # a singleton gains nothing from the batch machinery
         cap = AUTO_BATCH_CHUNK if batch == "auto" else int(batch)
@@ -191,7 +195,7 @@ def run_many_until_stable(
             chunk = indices[lo:lo + cap]
             if len(chunk) == 1:
                 continue
-            engine = BatchedTwoStateMIS([processes[i] for i in chunk])
+            engine = engine_cls([processes[i] for i in chunk])
             for i, result in zip(chunk, engine.run(max_rounds, verify=verify)):
                 results[i] = result
             batched_indices.update(chunk)

@@ -213,12 +213,22 @@ class TestBatchableAndValidation:
     def test_batchable_predicate(self):
         g = complete_graph(6)
         assert batchable(TwoStateMIS(g, coins=0))
-        assert not batchable(ThreeColorMIS(g, coins=0))
-        assert not batchable(
+        # Since the engine-family generalization the 3-state, 3-color
+        # (randomized switch) and independently-scheduled processes are
+        # batchable too — see tests/test_batched_families.py for their
+        # dispatch and equivalence suites.
+        assert batchable(ThreeColorMIS(g, coins=0))
+        assert batchable(
             ScheduledTwoStateMIS(
                 g, coins=0, scheduler=IndependentScheduler(0.5)
             )
         )
+
+        class TwoStateSubclass(TwoStateMIS):
+            pass
+
+        # Subclasses may override _advance; they stay on the serial path.
+        assert not batchable(TwoStateSubclass(g, coins=0))
 
     def test_empty_batch_rejected(self):
         with pytest.raises(ValueError):

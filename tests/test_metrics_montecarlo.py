@@ -12,6 +12,7 @@ from repro.sim.metrics import (
     stabilization_profile,
 )
 from repro.sim.montecarlo import (
+    SweepResult,
     TrialStats,
     estimate_stabilization_time,
     sweep_stabilization_times,
@@ -191,3 +192,91 @@ class TestSweep:
             seed=1,
         )
         assert all(s.max_rounds == 100 * n for n, s in results.items())
+
+
+def _clique_grid_factory(n):
+    """Module-level (picklable) make_factory for pool tests."""
+
+    def factory(s):
+        return TwoStateMIS(complete_graph(int(n)), coins=s)
+
+    return factory
+
+
+class TestSweepRegressions:
+    """Regression tests for the two verified sweep bugs.
+
+    1. A lambda/closure ``make_factory`` with ``n_jobs >= 2`` used to
+       raise ``PicklingError`` from inside the process pool.
+    2. ``dict(zip(grid, stats))`` silently collapsed duplicate grid
+       points (grid ``[8, 8, 12]`` returned 2 entries).
+    """
+
+    def test_lambda_factory_with_pool_falls_back_in_process(self):
+        kw = dict(
+            make_factory=lambda n: (
+                lambda s: TwoStateMIS(complete_graph(n), coins=s)
+            ),
+            grid=[8, 12],
+            trials=3,
+            max_rounds=10_000,
+            seed=7,
+        )
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            pooled = sweep_stabilization_times(n_jobs=2, **kw)
+        solo = sweep_stabilization_times(**kw)
+        assert solo.keys() == pooled.keys()
+        for point in solo:
+            assert np.array_equal(solo[point].times, pooled[point].times)
+
+    def test_picklable_factory_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            results = sweep_stabilization_times(
+                _clique_grid_factory,
+                grid=[8, 12],
+                trials=2,
+                max_rounds=10_000,
+                seed=1,
+                n_jobs=2,
+            )
+        assert set(results) == {8, 12}
+
+    def test_duplicate_grid_points_preserved(self):
+        with pytest.warns(UserWarning, match="duplicate grid points"):
+            results = sweep_stabilization_times(
+                make_factory=lambda n: (
+                    lambda s: TwoStateMIS(complete_graph(n), coins=s)
+                ),
+                grid=[8, 8, 12],
+                trials=4,
+                max_rounds=10_000,
+                seed=0,
+            )
+        # One TrialStats per grid entry, none dropped.
+        assert len(results.entries) == 3
+        assert [point for point, _ in results.entries] == [8, 8, 12]
+        assert len(results.stats_for(8)) == 2
+        # Each duplicate entry ran with its own derived seed.
+        first, second = results.stats_for(8)
+        assert first.trials == second.trials == 4
+        # Mapping-style access still works (first occurrence wins).
+        assert results[8] is first
+        assert set(results) == {8, 12}
+        assert len(results) == 2
+
+    def test_unique_grid_behaves_like_dict(self):
+        results = sweep_stabilization_times(
+            make_factory=lambda n: (
+                lambda s: TwoStateMIS(complete_graph(n), coins=s)
+            ),
+            grid=[8, 16],
+            trials=2,
+            max_rounds=10_000,
+            seed=2,
+        )
+        assert isinstance(results, SweepResult)
+        assert dict(results) == {p: s for p, s in results.entries}
+        assert len(results.entries) == len(results) == 2

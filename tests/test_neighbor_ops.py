@@ -146,3 +146,30 @@ class TestCountBatch:
             ops.count_batch(np.zeros(6, dtype=bool))
         with pytest.raises(ValueError):
             ops.count_batch(np.zeros((2, 5), dtype=bool))
+
+
+class TestMaxClosedBatch:
+    def test_matches_rowwise_max_closed(self, backend_cls):
+        g = gnp_random_graph(40, 0.15, rng=9)
+        ops = backend_cls(g)
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 6, size=(6, 40)).astype(np.int8)
+        batch = ops.max_closed_batch(values)
+        assert batch.shape == (6, 40)
+        for r in range(6):
+            assert np.array_equal(
+                np.asarray(batch[r]), np.asarray(ops.max_closed(values[r]))
+            )
+
+    def test_includes_self(self, backend_cls):
+        # An isolated maximum stays put: N+ includes the vertex itself.
+        g = complete_graph(1)
+        ops = backend_cls(g)
+        values = np.array([[3]], dtype=np.int8)
+        assert np.array_equal(ops.max_closed_batch(values), [[3]])
+
+    def test_bad_shape_rejected(self, backend_cls):
+        g = complete_graph(6)
+        ops = backend_cls(g)
+        with pytest.raises(ValueError):
+            ops.max_closed_batch(np.zeros(6, dtype=np.int8))

@@ -14,6 +14,7 @@ from repro.core.two_state import TwoStateMIS
 from repro.core.verify import is_maximal_independent_set
 from repro.graphs.generators import complete_graph, cycle_graph, star_graph
 from repro.graphs.random_graphs import gnp_random_graph
+from repro.sim.rng import ScriptedCoins
 from repro.sim.runner import run_until_stable
 
 
@@ -118,6 +119,98 @@ class TestSingleVertexSchedulers:
         )
         result = run_until_stable(proc, max_rounds=500_000)
         assert result.stabilized
+
+
+class TestSchedulerHotPathRegressions:
+    """Coin-stream pins for the vectorized scheduler hot paths.
+
+    The single-vertex daemon now draws one ``bits(⌈log₂ n⌉)`` array per
+    round (instead of ⌈log₂ n⌉ separate ``bits(1)`` draws) and the
+    adversary scores candidates with one ``ops.count`` reduction
+    (instead of a per-vertex Python loop).  These tests pin the
+    resulting trajectories so any future change to the draw discipline
+    or the tie-breaking is caught.
+    """
+
+    def test_single_vertex_daemon_pinned_selections(self):
+        # Pinned for g = G(30, 0.2; rng=6), coins=4; regenerate the
+        # constants if the coin discipline deliberately changes.
+        g = gnp_random_graph(30, 0.2, rng=6)
+        proc = ScheduledTwoStateMIS(
+            g, scheduler=SingleVertexScheduler(), coins=4
+        )
+        daemon = SingleVertexScheduler()
+        selections = [
+            int(np.flatnonzero(daemon.select(proc))[0]) for _ in range(8)
+        ]
+        assert selections == [16, 26, 28, 19, 2, 23, 25, 6]
+
+    def test_single_vertex_daemon_single_draw(self):
+        # n = 30 needs ⌈log₂ 30⌉ = 5 bits: exactly ONE length-5 draw.
+        g = cycle_graph(30)
+        script = [[True, False, True, False, False]]  # index 5
+        proc = ScheduledTwoStateMIS(
+            g, scheduler=SingleVertexScheduler(), coins=ScriptedCoins(script),
+            init="all_white",
+        )
+        mask = SingleVertexScheduler().select(proc)
+        assert proc.coins.draws_consumed == 1
+        assert np.flatnonzero(mask).tolist() == [5]
+
+    def test_adversarial_daemon_matches_reference_loop(self):
+        # The vectorized select must reproduce the original per-vertex
+        # scoring loop (most enabled neighbours, ties → largest id).
+        def reference_select(process):
+            enabled = process.active_mask()
+            mask = np.zeros(process.n, dtype=bool)
+            if not enabled.any():
+                return mask
+            best_u, best_score = -1, -1
+            for u in np.flatnonzero(enabled):
+                score = sum(
+                    1
+                    for v in process.graph.neighbors(int(u))
+                    if enabled[v]
+                )
+                if score > best_score or (
+                    score == best_score and int(u) > best_u
+                ):
+                    best_score, best_u = score, int(u)
+            mask[best_u] = True
+            return mask
+
+        g = gnp_random_graph(40, 0.15, rng=12)
+        daemon = AdversarialGreedyScheduler()
+        for seed in range(4):
+            proc = ScheduledTwoStateMIS(g, scheduler=daemon, coins=seed)
+            for _ in range(60):
+                assert np.array_equal(
+                    daemon.select(proc), reference_select(proc)
+                )
+                if proc.is_stabilized():
+                    break
+                proc.step()
+
+    def test_adversarial_daemon_trajectory_unchanged(self):
+        # The adversary draws no coins, so the full run is pinned.
+        g = gnp_random_graph(30, 0.2, rng=6)
+        proc = ScheduledTwoStateMIS(
+            g, scheduler=AdversarialGreedyScheduler(), coins=7
+        )
+        result = run_until_stable(proc, max_rounds=500_000)
+        assert result.stabilized
+        assert result.stabilization_round == 13
+
+    def test_single_vertex_daemon_pinned_stabilization(self):
+        g = cycle_graph(12)
+        proc = ScheduledTwoStateMIS(
+            g, scheduler=SingleVertexScheduler(), coins=11
+        )
+        result = run_until_stable(proc, max_rounds=500_000)
+        assert result.stabilized
+        assert is_maximal_independent_set(g, result.mis)
+        # Pinned trajectory under the one-draw-per-round discipline.
+        assert result.stabilization_round == 43
 
 
 class TestScheduledSemantics:
