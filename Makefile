@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast docs check-docs bench bench-batched bench-families bench-smoke ci
+.PHONY: test test-fast docs check-docs bench bench-batched bench-families bench-substrate bench-smoke ci
 
 test:            ## full test suite (tier-1 gate)
 	$(PYTHON) -m pytest -x -q
@@ -24,7 +24,12 @@ bench-batched:   ## serial vs batched trial-engine speedup report
 bench-families:  ## serial vs batched speedups for the 3-state/3-color/scheduled engines
 	$(PYTHON) benchmarks/bench_batched_families.py
 
+bench-substrate: ## CSR substrate vs tuple/set representation at n = 2^20
+	$(PYTHON) benchmarks/bench_graph_substrate.py
+
 ci: test check-docs bench-smoke   ## what the CI workflow runs
 
-bench-smoke:     ## CI-scale batched-engine regression smoke
+bench-smoke:     ## CI-scale regression smoke (batched engines, substrate, E19)
 	BENCH_FAST=1 $(PYTHON) benchmarks/bench_batched_families.py
+	BENCH_FAST=1 $(PYTHON) benchmarks/bench_graph_substrate.py
+	$(PYTHON) -m repro.experiments run E19

@@ -1,8 +1,10 @@
 """Ablation: neighbourhood-ops backend choice (DESIGN.md §5).
 
 Times 100 rounds of the 2-state process on the same graphs under the
-dense, sparse and pure-python backends.  The auto heuristic in
-``make_neighbor_ops`` is justified by these numbers.
+dense, bitset, sparse and pure-python backends.  The auto heuristic in
+``make_neighbor_ops`` is justified by these numbers: the bitset backend
+targets the mid-size dense regime where the int8 matrix no longer fits
+in cache.
 """
 
 import pytest
@@ -13,6 +15,7 @@ from repro.graphs.random_graphs import gnp_random_graph
 
 _DENSE_GRAPH = complete_graph(512)
 _SPARSE_GRAPH = gnp_random_graph(4096, 0.002, rng=1)
+_MIDSIZE_DENSE_GRAPH = gnp_random_graph(6000, 0.15, rng=4)
 
 
 def _steps(graph, backend: str, rounds: int = 100):
@@ -20,17 +23,28 @@ def _steps(graph, backend: str, rounds: int = 100):
     proc.step(rounds)
 
 
-@pytest.mark.parametrize("backend", ["dense", "sparse"])
+@pytest.mark.parametrize("backend", ["dense", "bitset", "sparse"])
 def test_dense_graph_backend(benchmark, backend):
     benchmark.pedantic(
         lambda: _steps(_DENSE_GRAPH, backend), rounds=3, iterations=1
     )
 
 
-@pytest.mark.parametrize("backend", ["dense", "sparse"])
+@pytest.mark.parametrize("backend", ["dense", "bitset", "sparse"])
 def test_sparse_graph_backend(benchmark, backend):
     benchmark.pedantic(
         lambda: _steps(_SPARSE_GRAPH, backend), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("backend", ["dense", "bitset", "sparse"])
+def test_midsize_dense_graph_backend(benchmark, backend):
+    # The bitset backend's home turf: n past the dense cap, density
+    # high enough that CSR indirection hurts.
+    benchmark.pedantic(
+        lambda: _steps(_MIDSIZE_DENSE_GRAPH, backend, rounds=20),
+        rounds=3,
+        iterations=1,
     )
 
 

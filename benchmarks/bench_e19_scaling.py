@@ -1,0 +1,34 @@
+"""E19 — frontier scaling: 2/3-state MIS on G(n, c/n) at large n."""
+
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.sim.montecarlo import estimate_stabilization_time
+
+
+def test_e19_regenerate(regen):
+    regen("E19")
+
+
+def test_frontier_construction_n2_18(benchmark):
+    n = 1 << 18
+    graph = benchmark.pedantic(
+        lambda: gnp_random_graph(n, 3.0 / n, rng=1), rounds=3, iterations=1
+    )
+    assert graph.n == n
+
+
+def test_frontier_two_state_n2_17(benchmark):
+    n = 1 << 17
+    graph = gnp_random_graph(n, 3.0 / n, rng=2)
+
+    def run():
+        stats = estimate_stabilization_time(
+            lambda s: TwoStateMIS(graph, coins=s),
+            trials=4,
+            max_rounds=10_000,
+            seed=3,
+            batch=4,
+        )
+        assert stats.success_rate == 1.0
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

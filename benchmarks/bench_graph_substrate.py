@@ -1,0 +1,155 @@
+"""CSR-native Graph substrate vs the legacy tuple/set representation.
+
+The acceptance workload for the array-native substrate (ISSUE 3): a
+G(n, 3/n) sample at n = 2²⁰ must construct at least 3× faster and
+reside in at least 5× less memory on the CSR-native
+:class:`repro.graphs.graph.Graph` than on the representation it
+replaced (per-vertex sorted Python tuples *plus* sets, built by a
+per-edge Python loop).  The legacy representation is reconstructed here
+from the same edge arrays so the comparison stays honest as the real
+class evolves.
+
+Run standalone for the acceptance report::
+
+    PYTHONPATH=src python benchmarks/bench_graph_substrate.py
+
+or under pytest-benchmark::
+
+    pytest benchmarks/bench_graph_substrate.py --benchmark-only
+
+The ``--fast`` flag (or ``BENCH_FAST=1``) shrinks n to 2¹⁶ for the CI
+smoke step; the representation-equivalence check and both acceptance
+ratios are still asserted (the ratios are scale-robust: the legacy
+representation loses by an order of magnitude at every size).
+"""
+
+import os
+import sys
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.random_graphs import gnp_random_graph
+
+FAST = bool(int(os.environ.get("BENCH_FAST", "0"))) or "--fast" in sys.argv[1:]
+
+N = (1 << 16) if FAST else (1 << 20)
+C = 3.0
+SEED = 0
+#: ISSUE 3 acceptance thresholds at n = 2²⁰.
+MIN_MEMORY_RATIO = 5.0
+MIN_SPEEDUP = 3.0
+
+
+def _legacy_build(n, us, vs):
+    """The seed's tuple/set adjacency, built edge-by-edge in Python."""
+    adj_sets = [set() for _ in range(n)]
+    for u, v in zip(us.tolist(), vs.tolist()):
+        adj_sets[u].add(v)
+        adj_sets[v].add(u)
+    adj = tuple(tuple(sorted(s)) for s in adj_sets)
+    return adj, adj_sets
+
+
+def _legacy_resident_bytes(adj, adj_sets):
+    """Container bytes of the tuple/set representation.
+
+    Deliberately *undercounts* the legacy side: the per-neighbor int
+    objects (28 bytes each, referenced by tuple and set alike) are left
+    out, so the measured ratio is a floor on the real one.
+    """
+    total = sys.getsizeof(adj) + sys.getsizeof(adj_sets)
+    total += sum(sys.getsizeof(t) for t in adj)
+    total += sum(sys.getsizeof(s) for s in adj_sets)
+    return total
+
+
+def _sample_edges():
+    graph = gnp_random_graph(N, C / N, rng=SEED)
+    return graph, *graph.edge_arrays()
+
+
+def _measure():
+    """(memory ratio, construction speedup) with equivalence asserts."""
+    graph, us, vs = _sample_edges()
+
+    # --- construction time (legacy loop vs vectorized CSR) ----------
+    t0 = time.perf_counter()
+    adj, adj_sets = _legacy_build(N, us, vs)
+    t_legacy = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    csr_graph = Graph.from_numpy_edges(N, us, vs)
+    t_csr = time.perf_counter() - t0
+
+    # --- resident memory --------------------------------------------
+    legacy_bytes = _legacy_resident_bytes(adj, adj_sets)
+    csr_bytes = csr_graph.memory_nbytes()
+
+    # --- transient (tracemalloc) peak during construction -----------
+    tracemalloc.start()
+    Graph.from_numpy_edges(N, us, vs)
+    _, csr_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    # --- equivalence: same adjacency either way ----------------------
+    assert csr_graph == graph
+    sample = np.random.default_rng(1).integers(0, N, size=64)
+    for u in sample.tolist():
+        assert csr_graph.neighbors(u) == adj[u]
+
+    return {
+        "memory_ratio": legacy_bytes / csr_bytes,
+        "speedup": t_legacy / t_csr,
+        "t_legacy": t_legacy,
+        "t_csr": t_csr,
+        "legacy_mb": legacy_bytes / 2**20,
+        "csr_mb": csr_bytes / 2**20,
+        "csr_peak_mb": csr_peak / 2**20,
+        "m": graph.m,
+    }
+
+
+def _assert_acceptance(r):
+    assert r["memory_ratio"] >= MIN_MEMORY_RATIO, (
+        f"memory reduction only {r['memory_ratio']:.1f}x "
+        f"(need >= {MIN_MEMORY_RATIO}x)"
+    )
+    assert r["speedup"] >= MIN_SPEEDUP, (
+        f"construction speedup only {r['speedup']:.1f}x "
+        f"(need >= {MIN_SPEEDUP}x)"
+    )
+
+
+def test_substrate_acceptance(benchmark):
+    """The ISSUE 3 acceptance criterion, measured end to end."""
+    result = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    _assert_acceptance(result)
+
+
+def test_csr_construction(benchmark):
+    _, us, vs = _sample_edges()
+    benchmark.pedantic(
+        lambda: Graph.from_numpy_edges(N, us, vs), rounds=3, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    mode = "fast (CI smoke)" if FAST else "full"
+    r = _measure()
+    print(f"G(n=2^{N.bit_length() - 1}, 3/n), m={r['m']}, mode: {mode}")
+    print(
+        f"  construction: legacy {r['t_legacy']:6.2f}s   "
+        f"CSR {r['t_csr']:6.3f}s   speedup {r['speedup']:5.1f}x"
+    )
+    print(
+        f"  resident:     legacy {r['legacy_mb']:6.1f}MB  "
+        f"CSR {r['csr_mb']:6.1f}MB  ratio {r['memory_ratio']:5.1f}x"
+        f"   (CSR build peak {r['csr_peak_mb']:.1f}MB)"
+    )
+    _assert_acceptance(r)
+    print(
+        f"  acceptance: memory >= {MIN_MEMORY_RATIO:.0f}x and "
+        f"construction >= {MIN_SPEEDUP:.0f}x both hold"
+    )

@@ -293,7 +293,9 @@ class _BatchedMISEngine:
         if self.shared_graph:
             return self._ops.max_closed_batch(values)
         out = values.astype(np.int64).copy()  # self is included in N+.
-        for level in np.unique(values):
+        # Minimum level skipped (all-True probe, no-op write): one fewer
+        # block-diagonal reduction per switch round.
+        for level in np.unique(values)[1:]:
             has = self._exists_nbrs(values >= level, pos)
             out[has & (out < level)] = level
         return out

@@ -38,9 +38,9 @@ def independence_violations(
 ) -> list[tuple[int, int]]:
     """Edges with both endpoints in the set (empty iff independent)."""
     mask = _as_mask(graph, vertices)
-    return [
-        (u, v) for u, v in graph.edges() if mask[u] and mask[v]
-    ]
+    us, vs = graph.edge_arrays()
+    bad = mask[us] & mask[vs]
+    return list(zip(us[bad].tolist(), vs[bad].tolist()))
 
 
 def maximality_violations(
@@ -51,13 +51,10 @@ def maximality_violations(
     Only meaningful when the set is independent.
     """
     mask = _as_mask(graph, vertices)
-    out = []
-    for u in graph.vertices():
-        if mask[u]:
-            continue
-        if not any(mask[v] for v in graph.neighbors(u)):
-            out.append(u)
-    return out
+    if graph.n == 0:
+        return []
+    counts = graph.adjacency_csr().dot(mask.astype(np.int32))
+    return np.flatnonzero(~mask & (counts == 0)).tolist()
 
 
 def is_independent_set(

@@ -47,6 +47,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     exp_schedulers,
     exp_three_state,
     exp_ablation,
+    exp_scaling,
 )
 
 __all__ = [

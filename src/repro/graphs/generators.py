@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.graphs.graph import Graph, GraphBuilder
 
 
@@ -21,8 +23,8 @@ def empty_graph(n: int) -> Graph:
 
 def complete_graph(n: int) -> Graph:
     """The complete graph ``K_n`` (Theorem 8 workload)."""
-    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
-    return Graph(n, edges)
+    iu, ju = np.triu_indices(n, k=1)
+    return Graph.from_numpy_edges(n, iu, ju)
 
 
 def path_graph(n: int) -> Graph:

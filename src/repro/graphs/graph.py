@@ -1,14 +1,28 @@
 """Immutable graph data structure used throughout the reproduction.
 
 The paper's processes operate on arbitrary finite simple undirected graphs
-``G = (V, E)`` with ``V = {0, ..., n-1}``.  :class:`Graph` stores the
-adjacency structure as a tuple of sorted integer tuples, which makes
-instances hashable-in-spirit (immutable), cheap to share between processes,
-and convenient to convert to the numpy/scipy representations used by the
-vectorized engines.
+``G = (V, E)`` with ``V = {0, ..., n-1}``.  :class:`Graph` is *array
+native*: the single source of truth is a CSR adjacency structure — an
+``indptr`` offset array and a row-sorted ``indices`` array (int32
+whenever the vertex count and directed edge count fit, so a million-edge
+graph costs ~12 bytes per edge instead of the hundreds that per-vertex
+Python tuples and sets used to) — and every derived representation is
+computed lazily and cached:
+
+* the Python views (:meth:`neighbors` tuples, the ``_adj_sets`` set
+  list) materialize only when legacy per-vertex code asks for them;
+* :meth:`adjacency_csr` wraps the native arrays into scipy without
+  copying; :meth:`adjacency_dense` and :meth:`adjacency_bitset` build
+  the int8 matrix and the uint64 bit-packed rows on demand;
+* the hot derived-graph/property paths (:meth:`degrees`,
+  :meth:`subgraph`, :meth:`complement`, :meth:`relabeled`,
+  :meth:`edges_between`, :meth:`induced_edge_count`,
+  :meth:`bfs_distances`) run directly on the CSR arrays.
 
 Use :class:`GraphBuilder` (or the classmethod constructors) to construct
 graphs; :class:`Graph` itself performs full validation on construction.
+:meth:`Graph.from_numpy_edges` is the zero-Python-loop constructor the
+large random-graph generators route through.
 """
 
 from __future__ import annotations
@@ -16,6 +30,8 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
+
+_INT32_MAX = np.iinfo(np.int32).max
 
 
 class Graph:
@@ -32,34 +48,155 @@ class Graph:
     Notes
     -----
     The instance is immutable: all mutating operations return new graphs.
-    Adjacency lists are exposed as sorted tuples via :meth:`neighbors`.
+    Adjacency is stored as CSR arrays (:attr:`indptr` / :attr:`indices`);
+    the tuple/set views are lazy caches over them.  Sorted neighbor
+    tuples are exposed via :meth:`neighbors`.
     """
 
-    __slots__ = ("_n", "_adj", "_m", "_adj_sets", "_csr", "_dense")
+    __slots__ = (
+        "_n",
+        "_m",
+        "_indptr",
+        "_indices",
+        "_adj_cache",
+        "_adj_sets_cache",
+        "_nbr_cache",
+        "_csr",
+        "_dense",
+        "_bits",
+    )
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()) -> None:
         if n < 0:
             raise ValueError(f"number of vertices must be >= 0, got {n}")
-        self._n = int(n)
-        adj: list[set[int]] = [set() for _ in range(self._n)]
+        n = int(n)
+        us: list[int] = []
+        vs: list[int] = []
         for u, v in edges:
             u = int(u)
             v = int(v)
-            if not (0 <= u < self._n and 0 <= v < self._n):
+            if not (0 <= u < n and 0 <= v < n):
                 raise ValueError(
-                    f"edge ({u}, {v}) out of range for n={self._n}"
+                    f"edge ({u}, {v}) out of range for n={n}"
                 )
             if u == v:
                 raise ValueError(f"self-loop ({u}, {u}) is not allowed")
-            adj[u].add(v)
-            adj[v].add(u)
-        self._adj_sets = adj
-        self._adj: tuple[tuple[int, ...], ...] = tuple(
-            tuple(sorted(s)) for s in adj
+            us.append(u)
+            vs.append(v)
+        self._build(
+            n, np.array(us, dtype=np.int64), np.array(vs, dtype=np.int64)
         )
-        self._m = sum(len(s) for s in adj) // 2
+
+    # ------------------------------------------------------------------
+    # CSR construction core
+    # ------------------------------------------------------------------
+    def _build(self, n: int, us: np.ndarray, vs: np.ndarray) -> None:
+        """Initialize the CSR arrays from validated endpoint arrays.
+
+        ``us``/``vs`` are parallel int64 arrays with entries in ``[0, n)``
+        and no self-loops; duplicates (in either orientation) collapse.
+        One sort + keep-mask dedup over the pair keys (skipped outright
+        when the keys arrive strictly increasing, as the generators
+        emit them) plus one sort over the directed pairs — no
+        per-vertex Python work.
+        """
+        self._n = n
+        self._adj_cache = None
+        self._adj_sets_cache = None
+        self._nbr_cache = {}
         self._csr = None
         self._dense = None
+        self._bits = None
+        if us.size == 0 or n == 0:
+            self._m = 0
+            dtype = np.int32 if n <= _INT32_MAX else np.int64
+            self._indptr = np.zeros(n + 1, dtype=dtype)
+            self._indices = np.zeros(0, dtype=dtype)
+            return
+        lo = np.minimum(us, vs)
+        hi = np.maximum(us, vs)
+        keys = lo * np.int64(n) + hi
+        # Generators emit strictly increasing pair keys; checking is two
+        # orders of magnitude cheaper than re-sorting a sorted array.
+        if keys.size > 1 and not np.all(keys[1:] > keys[:-1]):
+            keys.sort()
+            keep = np.empty(keys.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+            keys = keys[keep]
+        self._m = int(keys.size)
+        lo, hi = np.divmod(keys, np.int64(n))
+        # Both directions, row-major sorted in one pass on linear keys.
+        directed = np.concatenate([keys, hi * np.int64(n) + lo])
+        directed.sort()
+        src, dst = np.divmod(directed, np.int64(n))
+        nnz = dst.size
+        dtype = np.int32 if n <= _INT32_MAX and nnz <= _INT32_MAX else np.int64
+        counts = np.bincount(src, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        self._indptr = indptr.astype(dtype, copy=False)
+        self._indices = dst.astype(dtype, copy=False)
+
+    @classmethod
+    def _from_arrays(cls, n: int, us: np.ndarray, vs: np.ndarray) -> "Graph":
+        """Internal fast constructor from validated endpoint arrays."""
+        graph = cls.__new__(cls)
+        graph._build(int(n), us, vs)
+        return graph
+
+    def _row(self, u: int) -> np.ndarray:
+        """The sorted neighbor indices of ``u`` as a CSR slice (no copy)."""
+        if not (0 <= u < self._n):
+            raise IndexError(f"vertex {u} out of range for n={self._n}")
+        return self._indices[self._indptr[u]:self._indptr[u + 1]]
+
+    def _gather_rows(
+        self, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated ``(src, dst)`` arrays of the given rows' edges.
+
+        Vectorized multi-row CSR slice: ``src`` repeats each requested
+        row by its degree, ``dst`` holds the corresponding neighbors.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        starts = self._indptr[rows].astype(np.int64)
+        counts = (self._indptr[rows + 1] - self._indptr[rows]).astype(
+            np.int64
+        )
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        shifts = np.cumsum(counts) - counts
+        out_idx = np.arange(total, dtype=np.int64) + np.repeat(
+            starts - shifts, counts
+        )
+        return (
+            np.repeat(rows, counts),
+            self._indices[out_idx].astype(np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    # Lazy Python views (legacy tuple/set access)
+    # ------------------------------------------------------------------
+    @property
+    def _adj(self) -> tuple[tuple[int, ...], ...]:
+        """Per-vertex sorted neighbor tuples, materialized on demand."""
+        if self._adj_cache is None:
+            flat = self._indices.tolist()
+            ptr = self._indptr.tolist()
+            self._adj_cache = tuple(
+                tuple(flat[ptr[u]:ptr[u + 1]]) for u in range(self._n)
+            )
+        return self._adj_cache
+
+    @property
+    def _adj_sets(self) -> list[set[int]]:
+        """Per-vertex neighbor sets, materialized on demand."""
+        if self._adj_sets_cache is None:
+            self._adj_sets_cache = [set(row) for row in self._adj]
+        return self._adj_sets_cache
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -74,31 +211,66 @@ class Graph:
         """Number of edges."""
         return self._m
 
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row-offset array (length ``n + 1``; do not mutate)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column-index array (row-sorted, length ``2m``; do not mutate)."""
+        return self._indices
+
+    def memory_nbytes(self) -> int:
+        """Bytes held by the native CSR arrays (the resident footprint)."""
+        return self._indptr.nbytes + self._indices.nbytes
+
     def vertices(self) -> range:
         """The vertex set as a :class:`range`."""
         return range(self._n)
 
     def neighbors(self, u: int) -> tuple[int, ...]:
-        """Sorted tuple of neighbors of ``u`` (the set ``N(u)``)."""
-        return self._adj[u]
+        """Sorted tuple of neighbors of ``u`` (the set ``N(u)``).
+
+        Served from a per-vertex memo over the CSR row, so one lookup on
+        a million-vertex graph costs one row slice — the bulk
+        tuple-of-tuples view only materializes for callers that go
+        through ``_adj`` / ``_adj_sets``.
+        """
+        if self._adj_cache is not None:
+            return self._adj_cache[u]
+        n = self._n
+        if not -n <= u < n:
+            raise IndexError(f"vertex {u} out of range for n={n}")
+        if u < 0:
+            u += n
+        tup = self._nbr_cache.get(u)
+        if tup is None:
+            tup = tuple(self._row(u).tolist())
+            self._nbr_cache[u] = tup
+        return tup
 
     def closed_neighborhood(self, u: int) -> tuple[int, ...]:
         """Sorted tuple of ``N+(u) = N(u) ∪ {u}``."""
-        return tuple(sorted(self._adj_sets[u] | {u}))
+        row = self._row(u)
+        pos = int(np.searchsorted(row, u))
+        return tuple(np.insert(row.astype(np.int64), pos, u).tolist())
 
     def degree(self, u: int) -> int:
         """Degree of vertex ``u``."""
-        return len(self._adj[u])
+        if not (0 <= u < self._n):
+            raise IndexError(f"vertex {u} out of range for n={self._n}")
+        return int(self._indptr[u + 1] - self._indptr[u])
 
     def degrees(self) -> np.ndarray:
         """Degree sequence as an ``int64`` array indexed by vertex."""
-        return np.array([len(a) for a in self._adj], dtype=np.int64)
+        return np.diff(self._indptr).astype(np.int64)
 
     def max_degree(self) -> int:
         """Maximum degree Δ (0 for the empty graph)."""
         if self._n == 0:
             return 0
-        return max(len(a) for a in self._adj)
+        return int(self.degrees().max())
 
     def average_degree(self) -> float:
         """Average degree ``2m / n`` (0.0 for the empty graph)."""
@@ -110,66 +282,94 @@ class Graph:
         """Whether ``{u, v}`` is an edge."""
         if not (0 <= u < self._n and 0 <= v < self._n):
             return False
-        return v in self._adj_sets[u]
+        row = self._row(u)
+        pos = int(np.searchsorted(row, v))
+        return pos < row.size and int(row[pos]) == v
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """All edges as parallel int64 arrays ``(us, vs)`` with ``us < vs``.
+
+        Lexicographically ordered; the inverse of
+        :meth:`from_numpy_edges`.  This is the array-native edge view the
+        vectorized derived-graph operations run on.
+        """
+        src = np.repeat(
+            np.arange(self._n, dtype=np.int64), np.diff(self._indptr)
+        )
+        dst = self._indices.astype(np.int64)
+        mask = src < dst
+        return src[mask], dst[mask]
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Iterate over edges as ``(u, v)`` with ``u < v``."""
-        for u in range(self._n):
-            for v in self._adj[u]:
-                if u < v:
-                    yield (u, v)
+        us, vs = self.edge_arrays()
+        yield from zip(us.tolist(), vs.tolist())
 
     def edge_list(self) -> list[tuple[int, int]]:
         """All edges as a list of ``(u, v)`` pairs with ``u < v``."""
-        return list(self.edges())
+        us, vs = self.edge_arrays()
+        return list(zip(us.tolist(), vs.tolist()))
 
     def common_neighbors(self, u: int, v: int) -> tuple[int, ...]:
         """Sorted tuple of vertices adjacent to both ``u`` and ``v``."""
-        return tuple(sorted(self._adj_sets[u] & self._adj_sets[v]))
+        both = np.intersect1d(
+            self._row(u), self._row(v), assume_unique=True
+        )
+        return tuple(both.astype(np.int64).tolist())
 
     # ------------------------------------------------------------------
     # Set-valued neighborhood helpers (paper notation, §"Notation")
     # ------------------------------------------------------------------
     def neighborhood_of_set(self, s: Iterable[int]) -> set[int]:
         """``N(S)``: vertices outside ``S`` adjacent to some vertex of ``S``."""
-        s_set = set(s)
-        out: set[int] = set()
-        for u in s_set:
-            out |= self._adj_sets[u]
-        return out - s_set
+        s_set = {int(u) for u in s}
+        if not s_set:
+            return set()
+        rows = np.fromiter(s_set, dtype=np.int64, count=len(s_set))
+        if rows.size and (rows.min() < 0 or rows.max() >= self._n):
+            raise IndexError("vertex in S out of range")
+        _, dst = self._gather_rows(rows)
+        return set(np.unique(dst).tolist()) - s_set
 
     def closed_neighborhood_of_set(self, s: Iterable[int]) -> set[int]:
         """``N+(S) = N(S) ∪ S``."""
-        s_set = set(s)
-        out = set(s_set)
-        for u in s_set:
-            out |= self._adj_sets[u]
-        return out
+        s_set = {int(u) for u in s}
+        return self.neighborhood_of_set(s_set) | s_set
 
     def edges_between(self, s: Iterable[int], t: Iterable[int]) -> int:
         """``|E(S, T)|``: edges with one endpoint in ``S``, the other in ``T``.
 
         Edges with both endpoints in ``S ∩ T`` are counted once, matching
-        the paper's set-of-edges definition ``E(S, T)``.
+        the paper's set-of-edges definition ``E(S, T)``.  Cost is
+        proportional to the volume of ``S``, not to ``m``.
         """
-        s_set = set(s)
-        t_set = set(t)
-        seen: set[tuple[int, int]] = set()
-        for u in s_set:
-            for v in self._adj_sets[u]:
-                if v in t_set:
-                    seen.add((min(u, v), max(u, v)))
-        return len(seen)
+        s_set = {int(u) for u in s}
+        if not s_set:
+            return 0
+        rows = np.fromiter(s_set, dtype=np.int64, count=len(s_set))
+        if rows.min() < 0 or rows.max() >= self._n:
+            raise IndexError("vertex in S out of range")
+        t_ids = [int(v) for v in t if 0 <= int(v) < self._n]
+        t_mask = np.zeros(self._n, dtype=bool)
+        t_mask[t_ids] = True
+        src, dst = self._gather_rows(rows)
+        sel = t_mask[dst]
+        su, sv = src[sel], dst[sel]
+        keys = np.minimum(su, sv) * np.int64(self._n) + np.maximum(su, sv)
+        return int(np.unique(keys).size)
 
     def induced_edge_count(self, s: Iterable[int]) -> int:
         """``|E(S)|``: number of edges with both endpoints in ``S``."""
-        s_set = set(s)
-        count = 0
-        for u in s_set:
-            for v in self._adj_sets[u]:
-                if v in s_set and u < v:
-                    count += 1
-        return count
+        s_set = {int(u) for u in s}
+        if not s_set:
+            return 0
+        rows = np.fromiter(s_set, dtype=np.int64, count=len(s_set))
+        if rows.min() < 0 or rows.max() >= self._n:
+            raise IndexError("vertex in S out of range")
+        s_mask = np.zeros(self._n, dtype=bool)
+        s_mask[rows] = True
+        src, dst = self._gather_rows(rows)
+        return int(np.count_nonzero(s_mask[dst] & (src < dst)))
 
     # ------------------------------------------------------------------
     # Derived graphs
@@ -184,69 +384,124 @@ class Graph:
             ``0..|S|-1`` in the order of the (deduplicated, sorted) input;
             ``mapping`` maps original labels to new labels.
         """
-        s_sorted = sorted(set(s))
-        mapping = {orig: i for i, orig in enumerate(s_sorted)}
-        edges = []
-        s_set = set(s_sorted)
-        for u in s_sorted:
-            for v in self._adj_sets[u]:
-                if v in s_set and u < v:
-                    edges.append((mapping[u], mapping[v]))
-        return Graph(len(s_sorted), edges), mapping
+        s_sorted = np.unique(np.asarray(list(s), dtype=np.int64))
+        if s_sorted.size and (
+            s_sorted[0] < 0 or s_sorted[-1] >= self._n
+        ):
+            raise IndexError("vertex in S out of range")
+        mapping = {int(orig): i for i, orig in enumerate(s_sorted)}
+        s_mask = np.zeros(self._n, dtype=bool)
+        s_mask[s_sorted] = True
+        src, dst = self._gather_rows(s_sorted)
+        keep = s_mask[dst] & (src < dst)
+        new_us = np.searchsorted(s_sorted, src[keep])
+        new_vs = np.searchsorted(s_sorted, dst[keep])
+        return Graph._from_arrays(int(s_sorted.size), new_us, new_vs), mapping
 
     def complement(self) -> "Graph":
-        """The complement graph (no self-loops)."""
-        edges = [
-            (u, v)
-            for u in range(self._n)
-            for v in range(u + 1, self._n)
-            if v not in self._adj_sets[u]
-        ]
-        return Graph(self._n, edges)
+        """The complement graph (no self-loops), via the dense adjacency."""
+        n = self._n
+        if n < 2:
+            return Graph(n)
+        present = np.zeros((n, n), dtype=bool)
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(self._indptr))
+        present[src, self._indices] = True
+        us, vs = np.nonzero(np.triu(~present, k=1))
+        return Graph._from_arrays(n, us.astype(np.int64), vs.astype(np.int64))
 
     def with_edges_added(self, new_edges: Iterable[tuple[int, int]]) -> "Graph":
         """A new graph with ``new_edges`` added."""
-        return Graph(self._n, list(self.edges()) + list(new_edges))
+        add_us: list[int] = []
+        add_vs: list[int] = []
+        for u, v in new_edges:
+            u = int(u)
+            v = int(v)
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise ValueError(
+                    f"edge ({u}, {v}) out of range for n={self._n}"
+                )
+            if u == v:
+                raise ValueError(f"self-loop ({u}, {u}) is not allowed")
+            add_us.append(u)
+            add_vs.append(v)
+        us, vs = self.edge_arrays()
+        return Graph._from_arrays(
+            self._n,
+            np.concatenate([us, np.array(add_us, dtype=np.int64)]),
+            np.concatenate([vs, np.array(add_vs, dtype=np.int64)]),
+        )
 
     def relabeled(self, perm: Sequence[int]) -> "Graph":
         """Graph with vertex ``u`` renamed to ``perm[u]``.
 
         ``perm`` must be a permutation of ``0..n-1``.
         """
-        if sorted(perm) != list(range(self._n)):
+        p = np.asarray(perm, dtype=np.int64)
+        if p.shape != (self._n,) or not np.array_equal(
+            np.sort(p), np.arange(self._n)
+        ):
             raise ValueError("perm must be a permutation of range(n)")
-        return Graph(self._n, [(perm[u], perm[v]) for u, v in self.edges()])
+        us, vs = self.edge_arrays()
+        return Graph._from_arrays(self._n, p[us], p[vs])
 
     # ------------------------------------------------------------------
     # Matrix / external representations
     # ------------------------------------------------------------------
     def adjacency_csr(self):
-        """Adjacency matrix as a cached ``scipy.sparse.csr_matrix`` of int8."""
+        """Adjacency matrix as a cached ``scipy.sparse.csr_matrix`` of int8.
+
+        Wraps the native ``indptr`` / ``indices`` arrays without copying.
+        """
         if self._csr is None:
             from scipy import sparse
 
-            rows = []
-            cols = []
-            for u in range(self._n):
-                for v in self._adj[u]:
-                    rows.append(u)
-                    cols.append(v)
-            data = np.ones(len(rows), dtype=np.int8)
-            self._csr = sparse.csr_matrix(
-                (data, (rows, cols)), shape=(self._n, self._n)
+            data = np.ones(self._indices.size, dtype=np.int8)
+            mat = sparse.csr_matrix(
+                (data, self._indices, self._indptr),
+                shape=(self._n, self._n),
+                copy=False,
             )
+            mat.has_sorted_indices = True
+            mat.has_canonical_format = True
+            self._csr = mat
         return self._csr
 
     def adjacency_dense(self) -> np.ndarray:
         """Adjacency matrix as a cached dense int8 numpy array."""
         if self._dense is None:
             a = np.zeros((self._n, self._n), dtype=np.int8)
-            for u in range(self._n):
-                nbrs = self._adj[u]
-                if nbrs:
-                    a[u, list(nbrs)] = 1
+            src = np.repeat(
+                np.arange(self._n, dtype=np.int64), np.diff(self._indptr)
+            )
+            a[src, self._indices] = 1
             self._dense = a
         return self._dense
+
+    def adjacency_bitset(self) -> np.ndarray:
+        """Adjacency rows bit-packed into a cached ``(n, ⌈n/64⌉)`` uint64 array.
+
+        Bit ``i`` of word ``w`` in row ``u`` is set iff ``{u, 64w + i}``
+        is an edge — the backing store of
+        :class:`repro.core.neighbor_ops.BitsetNeighborOps`.
+        """
+        if self._bits is None:
+            n = self._n
+            words = (n + 63) // 64
+            bits = np.zeros((n, words), dtype=np.uint64)
+            if self._indices.size:
+                src = np.repeat(
+                    np.arange(n, dtype=np.int64), np.diff(self._indptr)
+                )
+                dst = self._indices.astype(np.int64)
+                np.bitwise_or.at(
+                    bits,
+                    (src, dst >> 6),
+                    np.left_shift(
+                        np.uint64(1), (dst & 63).astype(np.uint64)
+                    ),
+                )
+            self._bits = bits
+        return self._bits
 
     def density(self) -> float:
         """Edge density ``m / C(n, 2)`` (0.0 when n < 2)."""
@@ -271,9 +526,9 @@ class Graph:
         """Vectorized constructor from parallel endpoint arrays.
 
         Semantically identical to ``Graph(n, zip(us, vs))`` but builds
-        the adjacency structure with numpy sorting instead of per-edge
-        Python work — the difference between seconds and milliseconds
-        for million-edge G(n, p) samples.
+        the CSR arrays with a couple of numpy sorts — no per-edge or
+        per-vertex Python work, which is what lets a million-vertex
+        G(n, p) sample construct in milliseconds.
         """
         if n < 0:
             raise ValueError("n must be >= 0")
@@ -286,48 +541,29 @@ class Graph:
                 raise ValueError("edge endpoint out of range")
             if np.any(us == vs):
                 raise ValueError("self-loops are not allowed")
-        graph = cls.__new__(cls)
-        graph._n = int(n)
-        graph._csr = None
-        graph._dense = None
-        lo = np.minimum(us, vs)
-        hi = np.maximum(us, vs)
-        keys = lo * n + hi
-        unique = np.unique(keys)
-        lo = (unique // n).astype(np.int64)
-        hi = (unique % n).astype(np.int64)
-        # Both directions, grouped by source via argsort.
-        src = np.concatenate([lo, hi])
-        dst = np.concatenate([hi, lo])
-        order = np.argsort(src, kind="stable")
-        src = src[order]
-        dst = dst[order]
-        starts = np.searchsorted(src, np.arange(n + 1))
-        adj_tuples = []
-        adj_sets = []
-        for u in range(n):
-            nbrs = np.sort(dst[starts[u]:starts[u + 1]])
-            tup = tuple(int(x) for x in nbrs)
-            adj_tuples.append(tup)
-            adj_sets.append(set(tup))
-        graph._adj = tuple(adj_tuples)
-        graph._adj_sets = adj_sets
-        graph._m = int(unique.size)
-        return graph
+        return cls._from_arrays(int(n), us, vs)
 
     @classmethod
     def from_adjacency(cls, adj: Sequence[Iterable[int]]) -> "Graph":
-        """Build a graph from an adjacency-list representation."""
+        """Build a graph from an adjacency-list representation.
+
+        Rows may be arbitrary iterables (including one-shot generators):
+        each row is materialized exactly once before the symmetry check,
+        so consuming iterators cannot silently skip the asymmetry
+        validation.
+        """
+        rows = [tuple(int(v) for v in nbrs) for nbrs in adj]
+        row_sets = [set(row) for row in rows]
         edges = []
-        for u, nbrs in enumerate(adj):
+        for u, nbrs in enumerate(rows):
             for v in nbrs:
                 if u < v:
                     edges.append((u, v))
-                elif v < u and u not in set(adj[v]):
+                elif v < u and u not in row_sets[v]:
                     raise ValueError(
                         f"asymmetric adjacency: {v} lists {u}? missing"
                     )
-        return cls(len(adj), edges)
+        return cls(len(rows), edges)
 
     def to_networkx(self):
         """Convert to a ``networkx.Graph`` (requires networkx installed)."""
@@ -350,23 +586,44 @@ class Graph:
     # Traversal
     # ------------------------------------------------------------------
     def bfs_distances(self, source: int) -> np.ndarray:
-        """Single-source BFS distances; unreachable vertices get -1."""
+        """Single-source BFS distances; unreachable vertices get -1.
+
+        Frontier-at-a-time on the CSR arrays: each level is one
+        vectorized multi-row gather instead of a per-vertex Python loop.
+        """
         if not (0 <= source < self._n):
             raise ValueError(f"source {source} out of range")
         dist = np.full(self._n, -1, dtype=np.int64)
         dist[source] = 0
-        frontier = [source]
+        frontier = np.array([source], dtype=np.int64)
         d = 0
-        while frontier:
+        while frontier.size:
             d += 1
-            next_frontier = []
-            for u in frontier:
-                for v in self._adj[u]:
-                    if dist[v] < 0:
-                        dist[v] = d
-                        next_frontier.append(v)
-            frontier = next_frontier
+            _, nbrs = self._gather_rows(frontier)
+            nbrs = nbrs[dist[nbrs] < 0]
+            if nbrs.size == 0:
+                break
+            frontier = np.unique(nbrs)
+            dist[frontier] = d
         return dist
+
+    # ------------------------------------------------------------------
+    # Pickling (drop the lazy caches; the CSR arrays are the state)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return (self._n, self._m, self._indptr, self._indices)
+
+    def __setstate__(self, state) -> None:
+        self._n, self._m, self._indptr, self._indices = state
+        self._adj_cache = None
+        self._adj_sets_cache = None
+        self._nbr_cache = {}
+        self._csr = None
+        self._dense = None
+        self._bits = None
+
+    def __reduce__(self):
+        return (_rebuild_graph, (self.__getstate__(),))
 
     # ------------------------------------------------------------------
     # Dunder methods
@@ -374,16 +631,34 @@ class Graph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
-        return self._n == other._n and self._adj == other._adj
+        return (
+            self._n == other._n
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
 
     def __hash__(self) -> int:
-        return hash((self._n, self._adj))
+        return hash(
+            (
+                self._n,
+                self._m,
+                self._indptr.astype(np.int64, copy=False).tobytes(),
+                self._indices.astype(np.int64, copy=False).tobytes(),
+            )
+        )
 
     def __repr__(self) -> str:
         return f"Graph(n={self._n}, m={self._m})"
 
     def __len__(self) -> int:
         return self._n
+
+
+def _rebuild_graph(state) -> Graph:
+    """Unpickle helper: restore a :class:`Graph` from its CSR state."""
+    graph = Graph.__new__(Graph)
+    graph.__setstate__(state)
+    return graph
 
 
 class GraphBuilder:

@@ -141,6 +141,25 @@ class TestDerivedGraphs:
         g = Graph(6, [(0, 1), (2, 3), (4, 5), (0, 5)])
         assert g.complement().complement() == g
 
+    def test_complement_matches_loop_reference(self):
+        # The vectorized complement must equal the O(n²) double loop it
+        # replaced, on random graphs of assorted densities.
+        rng = np.random.default_rng(0)
+        for n, p in [(1, 0.5), (7, 0.0), (13, 0.3), (24, 0.7), (30, 1.0)]:
+            mask = rng.random((n, n)) < p
+            edges = [
+                (u, v) for u in range(n) for v in range(u + 1, n)
+                if mask[u, v]
+            ]
+            g = Graph(n, edges)
+            loop_edges = [
+                (u, v)
+                for u in range(n)
+                for v in range(u + 1, n)
+                if v not in set(g.neighbors(u))
+            ]
+            assert g.complement() == Graph(n, loop_edges)
+
     def test_with_edges_added(self):
         g = Graph(3, [(0, 1)])
         g2 = g.with_edges_added([(1, 2)])

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.neighbor_ops import (
     AdjListNeighborOps,
+    BitsetNeighborOps,
     DenseNeighborOps,
     SparseNeighborOps,
     make_neighbor_ops,
@@ -13,10 +14,17 @@ from repro.graphs.generators import complete_graph, star_graph
 from repro.graphs.graph import Graph
 from repro.graphs.random_graphs import gnp_random_graph
 
-BACKENDS = [DenseNeighborOps, SparseNeighborOps, AdjListNeighborOps]
+BACKENDS = [
+    DenseNeighborOps,
+    SparseNeighborOps,
+    BitsetNeighborOps,
+    AdjListNeighborOps,
+]
 
 
-@pytest.fixture(params=BACKENDS, ids=["dense", "sparse", "adjlist"])
+@pytest.fixture(
+    params=BACKENDS, ids=["dense", "sparse", "bitset", "adjlist"]
+)
 def backend_cls(request):
     return request.param
 
@@ -69,6 +77,25 @@ class TestMaxClosed:
         values = np.array([0, 1, 2, 3, 4])
         assert np.all(ops.max_closed(values) == 4)
 
+    def test_max_closed_shifted_levels(self, backend_cls):
+        # All levels strictly positive: the level-set loop skips the
+        # minimum-level probe (always all-True), which must not change
+        # the result.
+        g = gnp_random_graph(30, 0.2, rng=7)
+        ops = backend_cls(g)
+        rng = np.random.default_rng(11)
+        values = rng.integers(2, 8, size=30)
+        ref = AdjListNeighborOps(g)
+        assert np.array_equal(ops.max_closed(values), ref.max_closed(values))
+
+    def test_max_closed_constant_levels(self, backend_cls):
+        # A single distinct level: the loop body never runs; N+ includes
+        # self, so the output is the input.
+        g = gnp_random_graph(12, 0.3, rng=1)
+        ops = backend_cls(g)
+        values = np.full(12, 3)
+        assert np.array_equal(ops.max_closed(values), values)
+
 
 class TestCrossBackendAgreement:
     def test_all_backends_agree(self):
@@ -94,6 +121,9 @@ class TestFactory:
         assert isinstance(make_neighbor_ops(g, "dense"), DenseNeighborOps)
         assert isinstance(make_neighbor_ops(g, "sparse"), SparseNeighborOps)
         assert isinstance(
+            make_neighbor_ops(g, "bitset"), BitsetNeighborOps
+        )
+        assert isinstance(
             make_neighbor_ops(g, "adjlist"), AdjListNeighborOps
         )
 
@@ -108,6 +138,16 @@ class TestFactory:
 
     def test_auto_large_sparse_graph_sparse(self):
         g = gnp_random_graph(5000, 0.0005, rng=5)
+        assert isinstance(make_neighbor_ops(g, "auto"), SparseNeighborOps)
+
+    def test_auto_midsize_dense_graph_bitset(self):
+        # Past the dense backend's n cap but dense enough that the
+        # bit-packed rows beat CSR: the mid-size dense regime.
+        g = gnp_random_graph(6000, 0.15, rng=6)
+        assert isinstance(make_neighbor_ops(g, "auto"), BitsetNeighborOps)
+
+    def test_auto_huge_graph_stays_sparse(self):
+        g = gnp_random_graph(40_000, 0.0001, rng=7)
         assert isinstance(make_neighbor_ops(g, "auto"), SparseNeighborOps)
 
 

@@ -43,6 +43,28 @@ class TestGnp:
         assert rg.gnp_random_graph(0, 0.5, rng=0).n == 0
         assert rg.gnp_random_graph(1, 0.5, rng=0).m == 0
 
+    def test_vectorized_skip_path_deterministic(self):
+        # n > 6000 rides the block-vectorized geometric-skip sampler.
+        g1 = rg.gnp_random_graph(7000, 0.0005, rng=17)
+        g2 = rg.gnp_random_graph(7000, 0.0005, rng=17)
+        assert g1 == g2
+        expected = 0.0005 * 7000 * 6999 / 2
+        sigma = (expected * (1 - 0.0005)) ** 0.5
+        assert abs(g1.m - expected) < 6 * sigma
+
+    def test_vectorized_skip_multi_block(self, monkeypatch):
+        # Shrink the per-block skip cap so the sampler must continue
+        # across many blocks; the sample must stay a valid G(n, p) draw.
+        monkeypatch.setattr(rg, "_SKIP_BLOCK_CAP", 64)
+        n, p = 7000, 0.0005  # E[m] ~ 12k edges -> ~190 blocks
+        g = rg.gnp_random_graph(n, p, rng=23)
+        expected = p * n * (n - 1) / 2
+        sigma = (expected * (1 - p)) ** 0.5
+        assert abs(g.m - expected) < 6 * sigma
+        us, vs = g.edge_arrays()
+        assert us.size == g.m
+        assert ((0 <= us) & (us < vs) & (vs < n)).all()
+
 
 class TestGnm:
     def test_exact_edge_count(self):
