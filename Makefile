@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast docs check-docs bench bench-batched bench-families bench-substrate bench-smoke ci
+.PHONY: test test-fast docs check-docs bench bench-batched bench-families bench-substrate bench-frontier bench-fast bench-smoke ci
 
 test:            ## full test suite (tier-1 gate)
 	$(PYTHON) -m pytest -x -q
@@ -27,9 +27,16 @@ bench-families:  ## serial vs batched speedups for the 3-state/3-color/scheduled
 bench-substrate: ## CSR substrate vs tuple/set representation at n = 2^20
 	$(PYTHON) benchmarks/bench_graph_substrate.py
 
+bench-frontier:  ## frontier engine vs PR 3 full-recompute path at n = 2^18 (>=5x asserted)
+	$(PYTHON) benchmarks/bench_frontier.py
+
+bench-fast:      ## fast-mode speedups -> BENCH_{frontier,substrate,batched}.json at repo root
+	$(PYTHON) benchmarks/emit_bench_json.py
+
 ci: test check-docs bench-smoke   ## what the CI workflow runs
 
-bench-smoke:     ## CI-scale regression smoke (batched engines, substrate, E19)
+bench-smoke:     ## CI-scale regression smoke (batched engines, substrate, frontier, E19)
 	BENCH_FAST=1 $(PYTHON) benchmarks/bench_batched_families.py
 	BENCH_FAST=1 $(PYTHON) benchmarks/bench_graph_substrate.py
+	BENCH_FAST=1 $(PYTHON) benchmarks/bench_frontier.py
 	$(PYTHON) -m repro.experiments run E19

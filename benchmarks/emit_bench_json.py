@@ -1,0 +1,142 @@
+"""Emit the machine-readable perf trajectory (``BENCH_*.json``).
+
+Runs the fast-mode variants of the acceptance benchmarks and writes
+one JSON file per family at the repo root, each a list of
+``{workload, seconds, speedup, commit}`` entries:
+
+* ``BENCH_frontier.json``  — frontier engine vs the PR 3 full-recompute
+  path (``benchmarks/bench_frontier.py``);
+* ``BENCH_substrate.json`` — CSR-native Graph vs the legacy tuple/set
+  representation (``benchmarks/bench_graph_substrate.py``);
+* ``BENCH_batched.json``   — batched vs serial Monte-Carlo trials
+  (``benchmarks/bench_batched_trials.py``).
+
+The files are the start of the repo's perf trajectory: every commit
+that runs ``make bench-fast`` snapshots its speedups in a greppable,
+plottable form.  Full-size numbers come from the individual benches'
+``__main__`` reports; this emitter deliberately uses the fast (CI
+smoke) workloads so it stays cheap enough to run on every commit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit_bench_json.py
+
+(equivalently ``make bench-fast``).
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# The bench modules read BENCH_FAST at import time.
+os.environ["BENCH_FAST"] = "1"
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+
+def current_commit() -> str:
+    """Short git hash of HEAD (``"unknown"`` outside a checkout)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def entry(workload: str, seconds: float, speedup: float, commit: str) -> dict:
+    return {
+        "workload": workload,
+        "seconds": round(float(seconds), 6),
+        "speedup": round(float(speedup), 3),
+        "commit": commit,
+    }
+
+
+def frontier_entries(commit: str) -> list[dict]:
+    import bench_frontier
+
+    results = bench_frontier.measure()
+    n_label = f"2-state G(2^{bench_frontier.N.bit_length() - 1}, 3/n)"
+    return [
+        entry(
+            f"frontier {name} run, {n_label}",
+            r["frontier_s"],
+            r["speedup"],
+            commit,
+        )
+        for name, r in results.items()
+    ]
+
+
+def substrate_entries(commit: str) -> list[dict]:
+    import bench_graph_substrate
+
+    r = bench_graph_substrate._measure()
+    n_label = f"G(2^{bench_graph_substrate.N.bit_length() - 1}, 3/n)"
+    return [
+        entry(
+            f"CSR substrate construction, {n_label}",
+            r["t_csr"],
+            r["speedup"],
+            commit,
+        ),
+        entry(
+            f"CSR substrate memory ratio, {n_label}",
+            r["t_csr"],
+            r["memory_ratio"],
+            commit,
+        ),
+    ]
+
+
+def batched_entries(commit: str) -> list[dict]:
+    import numpy as np
+
+    import bench_batched_trials as bbt
+
+    start = time.perf_counter()
+    serial = bbt._run(None)
+    mid = time.perf_counter()
+    batched = bbt._run("auto")
+    end = time.perf_counter()
+    assert np.array_equal(serial.times, batched.times)
+    return [
+        entry(
+            f"batched trials, {bbt.TRIALS} x 2-state G({bbt.N}, {bbt.P})",
+            end - mid,
+            (mid - start) / (end - mid),
+            commit,
+        )
+    ]
+
+
+def main() -> None:
+    commit = current_commit()
+    families = {
+        "BENCH_frontier.json": frontier_entries,
+        "BENCH_substrate.json": substrate_entries,
+        "BENCH_batched.json": batched_entries,
+    }
+    for filename, build in families.items():
+        entries = build(commit)
+        path = ROOT / filename
+        path.write_text(json.dumps(entries, indent=2) + "\n")
+        for e in entries:
+            print(
+                f"{filename}: {e['workload']}: "
+                f"{e['seconds'] * 1e3:.1f}ms, {e['speedup']}x"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -250,7 +250,7 @@ class _BatchedMISEngine:
         """Compact the block-diagonal adjacency to the ``live`` replicas."""
         self._block = _stack_block_diag(
             [
-                self.processes[int(r)].graph.adjacency_csr().astype(np.int32)
+                self.processes[int(r)].graph.adjacency_csr_int32()
                 for r in live
             ],
             self.n,

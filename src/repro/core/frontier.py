@@ -1,0 +1,395 @@
+"""Incremental frontier aggregates: pay per round for what changed.
+
+The paper's central phenomenon is that the unstable set ``V_t`` shrinks
+geometrically, yet a naive engine charges full-graph cost every round:
+one neighbourhood reduction (a CSR matvec over all ``2m`` directed
+edges) in ``_advance`` plus two more in ``is_stabilized``.  Late in a
+large sparse run a round that moves 50 vertices still costs three
+passes over millions of edges.
+
+This module maintains the neighbourhood aggregates the processes
+actually consume — the per-vertex black-neighbour count, and the
+stability bookkeeping (``I_t``, ``N+[I_t]``, the unstable-vertex
+counter) behind the stabilization predicate — as *persistent state*,
+updated each round by scatter-adds over only the edges incident to
+vertices whose state changed.  Per-round cost becomes
+``O(n + vol(changed))`` instead of ``O(m)`` (the ``O(n)`` term is the
+coin draw and the boolean mask algebra, which every engine pays).
+
+Engine modes (``engine=`` on the 2-state and 3-state constructors):
+
+* ``"full"``     — the classic path: one fresh reduction per aggregate
+  per round (memoized within a round, see
+  :meth:`repro.core.process.MISProcess._aggregate`).
+* ``"frontier"`` — always scatter-update the persistent counts.
+* ``"auto"``     — per round, scatter-update when the changed set's
+  edge volume is below the crossover fraction of the graph's total
+  directed edge volume, otherwise recompute the counts with one full
+  reduction (the counts stay persistent either way).  This is the
+  default: early rounds where most of the graph moves pay one matvec,
+  and as ``V_t`` collapses the engine switches to scatter updates.
+
+All three modes produce bitwise-identical trajectories: the aggregates
+are exact integer counts however they are computed, and the coin
+discipline is untouched (``bits(n)`` is drawn every round even when few
+vertices consume it).  ``tests/test_frontier.py`` pins this.
+
+Stabilization bookkeeping
+-------------------------
+
+Alongside the black-neighbour counts, :class:`FrontierAggregates`
+maintains ``I_t`` (the stable-black set), the per-vertex count of
+stable-black neighbours, the covered mask ``N+[I_t]`` and the number of
+uncovered vertices — so ``is_stabilized()`` is an O(1) counter check in
+the frontier regime instead of two fresh reductions.  ``I_t`` can only
+change where the black mask or a black-neighbour count changed, so the
+bookkeeping is scatter-updated along the same edges as the counts.
+
+The 3-color/switch process stays on the full path for now: its switch
+levels perform a ``max`` diffusion over *every* closed neighbourhood
+each round (levels decay by 1 per round everywhere), so there is no
+small changed set to exploit — the switch state never quiesces the way
+the 2-/3-state masks do.
+
+Crossover
+---------
+
+``DEFAULT_CROSSOVER`` is the scatter/full switch point as a fraction of
+the graph's directed edge volume ``2m``, picked empirically on sparse
+G(n, 3/n) workloads (see ``benchmarks/bench_frontier.py``): a bincount
+scatter touches ``vol(changed)`` edges but pays an ``O(n)`` histogram
+pass per delta sign, while the CSR matvec touches all ``2m`` edges with
+a tighter inner loop.  The measured break-even sits near a quarter of
+the total volume and is flat around the optimum, matching the
+``vol(changed) > m/4``-ish heuristic from frontier-based BFS and
+label-propagation systems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.neighbor_ops import NeighborOps, gather_neighbors
+from repro.graphs.graph import Graph
+
+#: Engine modes accepted by the 2-state / 3-state constructors.
+ENGINES = ("auto", "frontier", "full")
+
+#: Scatter/full crossover as a fraction of the directed edge volume 2m
+#: (see the module docstring; picked empirically, flat optimum — the
+#: bincount scatter stays competitive with the CSR matvec up to about
+#: half the total volume on the sparse frontier workloads).
+DEFAULT_CROSSOVER = 0.25
+
+#: Token meaning "aggregates out of sync with the process state".
+STALE = object()
+
+
+def resolve_engine(engine: str) -> str:
+    """Validate an ``engine=`` argument (``"auto"``/``"frontier"``/``"full"``)."""
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
+class FrontierAggregates:
+    """Persistent neighbourhood aggregates for one evolving black mask.
+
+    Maintains, for the process that owns it:
+
+    * ``counts``        — int64, ``counts[u] = |N(u) ∩ B_t|``;
+    * ``has_black``     — ``counts > 0``, kept materialized (it is what
+      the update rules actually consume);
+    * ``aux_counts`` / ``aux_has`` — optional second count array for
+      processes that consume a second indicator (the 3-state process's
+      black1 mask);
+    * ``stable``        — ``I_t``, the black vertices with no black
+      neighbour;
+    * ``covered``       — ``N+[I_t]``;
+    * ``unstable_total``— ``|V \\ N+[I_t]|``, the O(1) stabilization
+      counter.
+
+    The stable-black-neighbour counts behind ``N+[I_t]`` are computed
+    at rebuild time to seed ``covered``; per round they are redundant,
+    because one synchronous application of any of the update rules can
+    only *add* vertices to ``I_t`` (a black vertex with no black
+    neighbour keeps its state, and its neighbours — non-black with a
+    black neighbour — keep theirs; this holds from any configuration,
+    so corrupted starts are covered too).  ``covered`` therefore grows
+    by ``added ∪ N(added)`` writes; if a removal is ever observed the
+    engine falls back to a from-scratch recomputation
+    (:meth:`_recompute_covered`).
+
+    ``token`` is the identity of the state array the aggregates were
+    last synced to; owners compare it against their current state array
+    and call :meth:`rebuild` on mismatch (which is how transient faults
+    injected via ``corrupt`` re-dirty the incremental state).
+
+    Parameters
+    ----------
+    graph:
+        The (immutable) graph.
+    ops:
+        The owner's :class:`~repro.core.neighbor_ops.NeighborOps`, used
+        for full recomputations and scatter deltas.
+    adaptive:
+        ``True`` for ``engine="auto"`` (per-round scatter/full
+        crossover), ``False`` for ``engine="frontier"`` (always
+        scatter).
+    track_aux:
+        Maintain the auxiliary count array as well.
+    crossover:
+        Scatter/full switch point as a fraction of the directed edge
+        volume (only consulted when ``adaptive``).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        ops: NeighborOps,
+        adaptive: bool = True,
+        track_aux: bool = False,
+        crossover: float = DEFAULT_CROSSOVER,
+    ) -> None:
+        self.graph = graph
+        self.ops = ops
+        self.n = graph.n
+        self.adaptive = bool(adaptive)
+        self.track_aux = bool(track_aux)
+        self.crossover = float(crossover)
+        self._degrees = graph.degrees()
+        #: Directed edge volume 2m — the cost of one full reduction.
+        self.volume = int(graph.indices.shape[0])
+        self._threshold = self.crossover * self.volume
+        self.token: object = STALE
+        self.counts: np.ndarray | None = None
+        self.has_black: np.ndarray | None = None
+        self.aux_counts: np.ndarray | None = None
+        self.aux_has: np.ndarray | None = None
+        self.stable: np.ndarray | None = None
+        self.covered: np.ndarray | None = None
+        self.unstable_total: int = self.n
+        #: Round counters by update path (introspection / experiments).
+        self.scatter_rounds = 0
+        self.full_rounds = 0
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Force a rebuild on next access (after in-place state edits)."""
+        self.token = STALE
+
+    def _full_counts(self, mask: np.ndarray) -> np.ndarray:
+        # int64 counts: np.bincount emits int64, so the scatter adds are
+        # cast-free (an int32 store costs an extra conversion pass per
+        # histogram; the wider array is noise next to that).
+        return self.ops.count(mask).astype(np.int64, copy=False)
+
+    def _counts_for(self, mask: np.ndarray) -> np.ndarray:
+        """Counts for a mask, by scatter when its volume is small.
+
+        Rebuild-time analogue of the per-round crossover: a sparse mask
+        (e.g. ``I_0`` of a random initial configuration) is cheaper to
+        histogram from its members than to push through a full
+        reduction.
+        """
+        members = np.flatnonzero(mask)
+        if self.changed_volume(members) <= self._threshold:
+            counts = np.zeros(self.n, dtype=np.int64)
+            self.ops.apply_count_delta(counts, members, None)
+            return counts
+        return self._full_counts(mask)
+
+    def rebuild(
+        self,
+        black: np.ndarray,
+        token: object,
+        aux: np.ndarray | None = None,
+    ) -> None:
+        """Recompute every aggregate from scratch for the given mask(s)."""
+        self.counts = self._counts_for(black)
+        self.has_black = self.counts > 0
+        if self.track_aux:
+            if aux is None:
+                raise ValueError("track_aux aggregates need an aux mask")
+            self.aux_counts = self._counts_for(aux)
+            self.aux_has = self.aux_counts > 0
+        self.stable = black & ~self.has_black
+        self._recompute_covered()
+        self.token = token
+
+    def _recompute_covered(self) -> None:
+        """``N+[I_t]`` and the unstable counter from the current ``stable``."""
+        members = np.flatnonzero(self.stable)
+        covered = self.stable.copy()
+        if members.size:
+            nbrs = gather_neighbors(
+                self.graph.indptr, self.graph.indices, members
+            )
+            if nbrs.size:
+                covered[nbrs] = True
+        self.covered = covered
+        self.unstable_total = self.n - int(np.count_nonzero(covered))
+
+    # ------------------------------------------------------------------
+    def changed_volume(self, *vertex_arrays: np.ndarray) -> int:
+        """Total degree of the given vertex index arrays (scatter cost)."""
+        total = 0
+        for verts in vertex_arrays:
+            if verts is not None and len(verts):
+                total += int(self._degrees[verts].sum())
+        return total
+
+    def advance(
+        self,
+        new_black: np.ndarray,
+        up: np.ndarray,
+        down: np.ndarray,
+        token: object,
+        aux_mask: np.ndarray | None = None,
+        aux_up: np.ndarray | None = None,
+        aux_down: np.ndarray | None = None,
+    ) -> np.ndarray | None:
+        """Advance the aggregates across one synchronous round.
+
+        ``up``/``down`` are the vertices that entered/left the black
+        mask this round (``aux_up``/``aux_down`` likewise for the
+        auxiliary indicator); ``new_black``/``aux_mask`` are the
+        post-round masks, used on full-recompute rounds.
+
+        Returns the scatter targets of the black-count update (the
+        vertices whose ``counts`` / ``has_black`` entries may have
+        changed, with multiplicity) on scatter rounds, or ``None`` on
+        full-recompute rounds — owners maintaining their own
+        frontier-localized state (the 2-state process's active-vertex
+        index set) key off this.
+        """
+        black_moved = (up is not None and len(up) > 0) or (
+            down is not None and len(down) > 0
+        )
+        # The scatter/full crossover is decided per indicator: for the
+        # 3-state process the black deltas quiesce while the black1
+        # deltas never do (stable black vertices alternate black1/black0
+        # forever), and a pooled decision would keep recomputing the
+        # unchanged black counts from scratch.
+        black_scatter = True
+        touched = self.graph.indices[:0]
+        if black_moved:
+            if self.adaptive:
+                black_scatter = (
+                    self.changed_volume(up, down) <= self._threshold
+                )
+            if black_scatter:
+                touched = self.ops.apply_count_delta(self.counts, up, down)
+                if touched.size * 16 < self.n:
+                    self.has_black[touched] = self.counts[touched] > 0
+                else:
+                    self.has_black = self.counts > 0
+            else:
+                touched = None
+                self.counts = self._full_counts(new_black)
+                self.has_black = self.counts > 0
+        if self.track_aux:
+            aux_scatter = True
+            if self.adaptive:
+                aux_scatter = (
+                    self.changed_volume(aux_up, aux_down) <= self._threshold
+                )
+            if aux_scatter:
+                aux_touched = self.ops.apply_count_delta(
+                    self.aux_counts, aux_up, aux_down
+                )
+                if aux_touched.size * 16 < self.n:
+                    self.aux_has[aux_touched] = (
+                        self.aux_counts[aux_touched] > 0
+                    )
+                else:
+                    self.aux_has = self.aux_counts > 0
+            else:
+                self.aux_counts = self._full_counts(aux_mask)
+                self.aux_has = self.aux_counts > 0
+            if not aux_scatter:
+                black_scatter = False  # label the round "full" below
+        if black_scatter:
+            self.scatter_rounds += 1
+        else:
+            self.full_rounds += 1
+        # I_t = f(black mask, black counts): both unchanged when no
+        # vertex entered or left the black set, so the stability pass
+        # can be skipped outright on black-quiescent rounds.
+        if black_moved:
+            if (
+                touched is not None
+                and (len(up) + len(down) + touched.size) * 8 < self.n
+            ):
+                # Small round: I_t can only change at the moved vertices
+                # and the scatter targets, so the whole stability pass
+                # runs on that candidate set instead of length-n masks
+                # (multiplicity is fine — every write is idempotent).
+                candidates = np.concatenate((up, down, touched))
+                self._update_stability_local(new_black, candidates)
+            else:
+                self._update_stability(new_black)
+        self.token = token
+        return touched
+
+    def _cover_added(self, added: np.ndarray) -> None:
+        """Monotone covered update: ``N+[added]`` becomes covered."""
+        graph = self.graph
+        self.covered[added] = True
+        nbrs = gather_neighbors(graph.indptr, graph.indices, added)
+        if nbrs.size:
+            self.covered[nbrs] = True
+        self.unstable_total = self.n - int(np.count_nonzero(self.covered))
+
+    def _update_stability_local(
+        self, new_black: np.ndarray, candidates: np.ndarray
+    ) -> None:
+        """Candidate-set variant of :meth:`_update_stability`.
+
+        ``candidates`` must contain every vertex whose blackness or
+        black-neighbour count changed this round (multiplicity is
+        harmless); the stability state is edited in place at
+        O(vol(changed))-many positions.  The only length-n work left
+        is the SIMD popcount of the covered mask that refreshes the
+        unstable counter (cheaper in practice than deduplicating the
+        newly-covered candidates to count the delta).
+        """
+        new_st = new_black[candidates] & ~self.has_black[candidates]
+        diff = new_st != self.stable[candidates]
+        if not diff.any():
+            return
+        moved = candidates[diff]
+        moved_new = new_st[diff]
+        added = moved[moved_new]
+        removed = moved[~moved_new]
+        self.stable[added] = True
+        if removed.size:
+            # Unreachable under the update rules (I_t is monotone, see
+            # the class docstring) but kept exact for safety.
+            self.stable[removed] = False
+            self._recompute_covered()
+            return
+        self._cover_added(added)
+
+    def _update_stability(self, new_black: np.ndarray) -> None:
+        """Update ``I_t`` / ``N+[I_t]`` / the unstable counter.
+
+        ``I_t`` can only change at vertices whose blackness or
+        black-neighbour count changed, and under one application of the
+        update rules it can only *grow* (class docstring); the covered
+        mask therefore grows by ``added ∪ N(added)``.  A removal —
+        impossible under the dynamics — drops to the from-scratch
+        recomputation instead.
+        """
+        new_stable = new_black & ~self.has_black
+        delta = np.flatnonzero(new_stable != self.stable)
+        self.stable = new_stable
+        if delta.size == 0:
+            return
+        added = delta[new_stable[delta]]
+        if added.size < delta.size:  # removals present
+            self._recompute_covered()
+            return
+        self._cover_added(added)

@@ -7,6 +7,11 @@ through three aggregates:
 * ``exists(mask)``  — whether some neighbour is in ``mask``
 * ``max_closed(v)`` — ``max_{w ∈ N+(u)} v[w]`` (used by the switch rule)
 
+plus one *incremental* primitive, ``apply_count_delta(counts, up,
+down)``, which scatter-updates a persistent count array along only the
+edges incident to a changed vertex set (the frontier engine of
+:mod:`repro.core.frontier`).
+
 Four backends implement the interface:
 
 * :class:`DenseNeighborOps`   — int8 adjacency matrix + matmul; fastest
@@ -42,6 +47,43 @@ _BITSET_MAX_N = 32768
 #: Minimum density for which bitset beats sparse in its size window
 #: (below this CSR touches fewer bytes than the n²/8-bit rows).
 _BITSET_MIN_DENSITY = 0.10
+
+def gather_neighbors(
+    indptr: np.ndarray, indices: np.ndarray, vertices: np.ndarray
+) -> np.ndarray:
+    """Concatenated neighbour lists of ``vertices`` (with multiplicity).
+
+    Vectorized CSR slice gather: equivalent to
+    ``np.concatenate([indices[indptr[v]:indptr[v + 1]] for v in vertices])``
+    with no per-vertex Python loop.  The frontier engine
+    (:mod:`repro.core.frontier`) uses this to find the scatter targets
+    of a changed vertex set.
+
+    The flat index array is built as a cumulative walk — ``+1`` inside
+    each CSR run, a jump to the next run's start at each boundary —
+    which benchmarks ~2x faster than the textbook
+    ``arange + repeat(offsets)`` construction (``np.repeat`` over the
+    run lengths is the slow part).
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if vertices.size == 0:
+        return indices[:0]
+    starts = indptr[vertices].astype(np.int64, copy=False)
+    lens = indptr[vertices + 1].astype(np.int64, copy=False) - starts
+    nonempty = lens > 0
+    if not nonempty.all():  # drop empty runs: keeps boundaries unique
+        starts = starts[nonempty]
+        lens = lens[nonempty]
+        if starts.size == 0:
+            return indices[:0]
+    ends = np.cumsum(lens)
+    total = int(ends[-1])
+    steps = np.ones(total, dtype=np.int64)
+    steps[0] = starts[0]
+    if starts.size > 1:
+        steps[ends[:-1]] = starts[1:] - starts[:-1] - lens[:-1] + 1
+    return indices[np.cumsum(steps)]
+
 
 if hasattr(np, "bitwise_count"):  # numpy >= 2.0
     def _popcount(a: np.ndarray) -> np.ndarray:
@@ -100,6 +142,73 @@ class NeighborOps:
     def exists_batch(self, masks: np.ndarray) -> np.ndarray:
         """Batched :meth:`exists`: ``out[r, u] = (N(u) ∩ masks[r] != ∅)``."""
         return self.count_batch(masks) > 0
+
+    def apply_count_delta(
+        self,
+        counts: np.ndarray,
+        up: np.ndarray | None,
+        down: np.ndarray | None,
+    ) -> np.ndarray:
+        """Scatter-update neighbour counts along the edges of a delta set.
+
+        Applies ``counts[u] += |N(u) ∩ up| - |N(u) ∩ down|`` in place by
+        gathering the CSR neighbour lists of ``up`` / ``down`` and
+        scatter-adding them, touching only ``vol(up) + vol(down)`` edges
+        instead of all ``2m``.  This is the count-delta primitive behind
+        the incremental frontier engine (:mod:`repro.core.frontier`).
+
+        Tiny deltas scatter with ``np.add.at`` (O(vol), ~70ns/edge);
+        larger ones histogram with ``np.bincount`` + one vector add
+        (O(n + vol), ~1.3ns/entry) — measured break-even near
+        ``vol ≈ n/50``, split at ``n/64``.
+
+        Returns the concatenated gathered neighbour array (the scatter
+        targets, with multiplicity) so callers can cheaply locate every
+        entry of ``counts`` that may have changed.
+        """
+        graph = self.graph
+        n = self.n
+        nbrs_up = nbrs_down = None
+        if up is not None and len(up):
+            nbrs_up = gather_neighbors(graph.indptr, graph.indices, up)
+        if down is not None and len(down):
+            nbrs_down = gather_neighbors(graph.indptr, graph.indices, down)
+        up_size = 0 if nbrs_up is None else nbrs_up.size
+        down_size = 0 if nbrs_down is None else nbrs_down.size
+        if up_size and down_size and up_size * 64 >= n and down_size * 64 >= n:
+            # Both signs are bincount-sized: one histogram over a
+            # doubled index range replaces two length-n histograms
+            # (+ side at [0, n), − side offset to [n, 2n)).
+            both = np.concatenate(
+                (nbrs_up, nbrs_down + np.int64(n))
+            )
+            hist = np.bincount(both, minlength=2 * n)
+            np.add(counts, hist[:n], out=counts, casting="unsafe")
+            np.subtract(counts, hist[n:], out=counts, casting="unsafe")
+        else:
+            for nbrs, sign in ((nbrs_up, 1), (nbrs_down, -1)):
+                if nbrs is None or nbrs.size == 0:
+                    continue
+                if nbrs.size * 64 < n:
+                    if sign > 0:
+                        np.add.at(counts, nbrs, 1)
+                    else:
+                        np.subtract.at(counts, nbrs, 1)
+                else:
+                    delta = np.bincount(nbrs, minlength=n)
+                    if sign > 0:
+                        np.add(counts, delta, out=counts, casting="unsafe")
+                    else:
+                        np.subtract(
+                            counts, delta, out=counts, casting="unsafe"
+                        )
+        if up_size and down_size:
+            return np.concatenate((nbrs_up, nbrs_down))
+        if up_size:
+            return nbrs_up
+        if down_size:
+            return nbrs_down
+        return graph.indices[:0]
 
     def max_closed(self, values: np.ndarray) -> np.ndarray:
         """``out[u] = max over N+(u) of values[w]``.
@@ -167,7 +276,7 @@ class SparseNeighborOps(NeighborOps):
 
     def __init__(self, graph: Graph) -> None:
         super().__init__(graph)
-        self._a = graph.adjacency_csr().astype(np.int32)
+        self._a = graph.adjacency_csr_int32()
 
     def count(self, mask: np.ndarray) -> np.ndarray:
         return self._a.dot(np.asarray(mask, dtype=np.int32))

@@ -14,6 +14,24 @@ processes):
 
 Subclasses implement :meth:`_advance` (one synchronous round) and
 :meth:`black_mask`.
+
+Aggregate bookkeeping
+---------------------
+
+The stability protocol needs the same neighbourhood reductions the
+update rules do (``exists(black)``, ``exists(I_t)``).  Two mechanisms
+keep the run loop from paying for them twice:
+
+* :meth:`_aggregate` memoizes reductions for the *current* state
+  (keyed on the identity of the state array via :meth:`_state_token`),
+  so ``step()`` and ``is_stabilized()`` inside
+  :func:`repro.sim.runner.run_until_stable` share one computation per
+  round instead of recomputing per call;
+* processes running an incremental frontier engine
+  (:mod:`repro.core.frontier`) expose their persistent aggregates via
+  :meth:`_frontier_aggregates`, and the protocol methods below read
+  ``I_t`` / ``N+[I_t]`` / the unstable counter straight from them —
+  making :meth:`is_stabilized` O(1) instead of two fresh reductions.
 """
 
 from __future__ import annotations
@@ -23,6 +41,9 @@ import numpy as np
 from repro.core.neighbor_ops import NeighborOps, make_neighbor_ops
 from repro.graphs.graph import Graph
 from repro.sim.rng import CoinSource, as_coin_source
+
+#: Sentinel: memoized aggregates are unconditionally stale.
+_STALE = object()
 
 
 class MISProcess:
@@ -56,6 +77,11 @@ class MISProcess:
         self.coins = as_coin_source(coins)
         self.ops: NeighborOps = make_neighbor_ops(graph, backend)
         self.round: int = 0
+        self._agg_cache: dict[str, np.ndarray] = {}
+        self._agg_token: object = _STALE
+        #: Incremental aggregates, when a frontier engine is active
+        #: (set lazily by subclasses that support ``engine=``).
+        self._frontier = None
 
     # ------------------------------------------------------------------
     # Subclass contract
@@ -81,6 +107,55 @@ class MISProcess:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # Aggregate bookkeeping (memoization + frontier dispatch)
+    # ------------------------------------------------------------------
+    def _state_token(self) -> object:
+        """Identity token of the current state (memoization key).
+
+        Subclasses whose ``_advance`` rebinds the state array each round
+        return that array, so the memo cache self-invalidates on every
+        state change.  The default returns a fresh object per call,
+        which disables memoization (always safe).
+        """
+        return object()
+
+    def _state_changed(self) -> None:
+        """Invalidate memoized and incremental aggregates.
+
+        Must be called after any *in-place* mutation of the state
+        vector (e.g. targeted fault injection); rebinding the state
+        array invalidates both caches automatically via identity.
+        """
+        self._agg_token = _STALE
+        if self._frontier is not None:
+            self._frontier.invalidate()
+
+    def _aggregate(self, key: str, compute) -> np.ndarray:
+        """Memoize a neighbourhood reduction for the current state.
+
+        Within one round, ``step()``'s update rule and the stability
+        predicate consume the same reductions; this cache makes them
+        pay once.  Callers must not mutate the returned array.
+        """
+        token = self._state_token()
+        if token is not self._agg_token:
+            self._agg_cache.clear()
+            self._agg_token = token
+        if key not in self._agg_cache:
+            self._agg_cache[key] = compute()
+        return self._agg_cache[key]
+
+    def _frontier_aggregates(self):
+        """The process's live incremental aggregates, or ``None``.
+
+        Subclasses running a frontier engine override this to return a
+        (rebuilt-if-stale) :class:`repro.core.frontier.FrontierAggregates`;
+        the stability protocol below then reads the maintained masks
+        instead of recomputing reductions.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     # Shared semantics
     # ------------------------------------------------------------------
     def step(self, rounds: int = 1) -> None:
@@ -97,21 +172,61 @@ class MISProcess:
         ``I_t`` is an independent set and a subset of the final MIS; once
         a vertex enters ``I_t`` it stays (Definition 4 and §2).
         """
+        frontier = self._frontier_aggregates()
+        if frontier is not None:
+            return frontier.stable.copy()
         black = self.black_mask()
-        return black & ~self.ops.exists(black)
+        return black & ~self._aggregate(
+            "exists_black", lambda: self.ops.exists(black)
+        )
 
     def covered_mask(self) -> np.ndarray:
         """``N+[I_t]``: vertices that are stable (self or neighbour in I_t)."""
+        frontier = self._frontier_aggregates()
+        if frontier is not None:
+            return frontier.covered.copy()
         stable_black = self.stable_black_mask()
-        return stable_black | self.ops.exists(stable_black)
+        return stable_black | self._aggregate(
+            "exists_stable_black", lambda: self.ops.exists(stable_black)
+        )
 
     def unstable_mask(self) -> np.ndarray:
         """``V_t = V \\ N+[I_t]``: vertices that are not yet stable."""
         return ~self.covered_mask()
 
     def is_stabilized(self) -> bool:
-        """Whether all vertices are stable (``N+[I_t] = V``)."""
+        """Whether all vertices are stable (``N+[I_t] = V``).
+
+        O(1) under a frontier engine (the maintained unstable-vertex
+        counter); otherwise one memoized reduction pass.
+        """
+        frontier = self._frontier_aggregates()
+        if frontier is not None:
+            return frontier.unstable_total == 0
         return bool(self.covered_mask().all())
+
+    def trajectory_counts(self) -> tuple[int, int, int, int]:
+        """``(|B_t|, |A_t|, |I_t|, |V_t|)`` — the trace aggregates.
+
+        One tuple per round is what :class:`repro.sim.trace.TraceRecorder`
+        records; under a frontier engine ``|I_t|`` and ``|V_t|`` come
+        straight from the maintained masks/counter instead of fresh
+        reductions, which is what makes trajectory-recording runs on
+        large graphs cheap.
+        """
+        frontier = self._frontier_aggregates()
+        n_black = int(np.count_nonzero(self.black_mask()))
+        n_active = int(np.count_nonzero(self.active_mask()))
+        if frontier is not None:
+            return (
+                n_black,
+                n_active,
+                int(np.count_nonzero(frontier.stable)),
+                frontier.unstable_total,
+            )
+        n_stable = int(np.count_nonzero(self.stable_black_mask()))
+        n_unstable = self.n - int(np.count_nonzero(self.covered_mask()))
+        return (n_black, n_active, n_stable, n_unstable)
 
     def mis(self) -> np.ndarray:
         """The stabilized MIS as a sorted vertex array.

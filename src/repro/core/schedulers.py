@@ -135,11 +135,16 @@ class ScheduledTwoStateMIS(MISProcess):
         )
         self.black = resolve_two_state_init(init, self.n, self.coins)
 
+    def _state_token(self) -> object:
+        return self.black
+
     def _advance(self) -> None:
         selected = self.scheduler.select(self)
         black = self.black
-        has_black_nbr = self.ops.exists(black)
-        rule_enabled = np.where(black, has_black_nbr, ~has_black_nbr)
+        has_black_nbr = self._aggregate(
+            "exists_black", lambda: self.ops.exists(black)
+        )
+        rule_enabled = black == has_black_nbr  # elementwise XNOR
         active = rule_enabled & selected
         phi = self.coins.bits(self.n)
         new_black = black.copy()
@@ -151,11 +156,14 @@ class ScheduledTwoStateMIS(MISProcess):
 
     def active_mask(self) -> np.ndarray:
         """Rule-enabled vertices (scheduler-independent activity)."""
-        has_black_nbr = self.ops.exists(self.black)
-        return np.where(self.black, has_black_nbr, ~has_black_nbr)
+        has_black_nbr = self._aggregate(
+            "exists_black", lambda: self.ops.exists(self.black)
+        )
+        return self.black == has_black_nbr  # elementwise XNOR
 
     def state_vector(self) -> np.ndarray:
         return self.black.copy()
 
     def corrupt(self, states: np.ndarray) -> None:
         self.black = validate_two_state(states, self.n)
+        self._state_changed()

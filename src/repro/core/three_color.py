@@ -115,12 +115,19 @@ class ThreeColorMIS(MISProcess):
         self.a = a
 
     # ------------------------------------------------------------------
+    def _state_token(self) -> object:
+        # The stability protocol's reductions depend on colors only
+        # (the switch levels never enter black/stable/covered masks).
+        return self.colors
+
     def _advance(self) -> None:
         colors = self.colors
         black = colors == BLACK
         white = colors == WHITE
         gray = colors == GRAY
-        has_black_nbr = self.ops.exists(black)
+        has_black_nbr = self._aggregate(
+            "exists_black", lambda: self.ops.exists(black)
+        )
         sigma = self.switch.sigma()  # σ_{t-1}
 
         conflicted_black = black & has_black_nbr
@@ -158,7 +165,9 @@ class ThreeColorMIS(MISProcess):
         """
         black = self.colors == BLACK
         white = self.colors == WHITE
-        has_black_nbr = self.ops.exists(black)
+        has_black_nbr = self._aggregate(
+            "exists_black", lambda: self.ops.exists(black)
+        )
         return (black & has_black_nbr) | (white & ~has_black_nbr)
 
     def state_vector(self) -> np.ndarray:
@@ -176,6 +185,7 @@ class ThreeColorMIS(MISProcess):
 
     def corrupt(self, states: np.ndarray) -> None:
         self.colors = validate_three_color(states, self.n)
+        self._state_changed()
 
     def corrupt_switch(self, levels: np.ndarray) -> None:
         """Corrupt the switch levels (requires the randomized switch)."""

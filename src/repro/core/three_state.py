@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.frontier import FrontierAggregates, resolve_engine
 from repro.core.process import MISProcess
 from repro.core.states import BLACK0, BLACK1, WHITE, validate_three_state
 from repro.graphs.graph import Graph
@@ -68,6 +69,16 @@ class ThreeStateMIS(MISProcess):
 
     Per round, exactly one ``bits(n)`` draw is consumed: the coin that
     chooses black1 (True) vs black0 (False) for re-randomizing vertices.
+
+    ``engine`` selects the aggregate engine (see
+    :mod:`repro.core.frontier`): the frontier path maintains *two*
+    persistent count arrays — black neighbours and black1 neighbours —
+    scatter-updated along the changed vertices' edges.  Note that a
+    stable black vertex alternates black1/black0 forever, so the black1
+    deltas never fully quiesce (unlike the 2-state process); the
+    changed-set volume still collapses to ``vol(I_t ∪ ...)``, well
+    below the full graph on sparse instances.  Trajectories are
+    bitwise-identical across engines.
     """
 
     name = "3-state"
@@ -79,9 +90,47 @@ class ThreeStateMIS(MISProcess):
         coins: CoinSource | int | np.random.Generator | None = None,
         init: np.ndarray | str | None = None,
         backend: str = "auto",
+        engine: str = "auto",
     ) -> None:
         super().__init__(graph, coins, backend)
         self.states = resolve_three_state_init(init, self.n, self.coins)
+        self.engine = resolve_engine(engine)
+
+    # ------------------------------------------------------------------
+    def _state_token(self) -> object:
+        return self.states
+
+    def _frontier_aggregates(self) -> FrontierAggregates | None:
+        if self.engine == "full":
+            return None
+        frontier = self._frontier
+        if frontier is None:
+            frontier = self._frontier = FrontierAggregates(
+                self.graph,
+                self.ops,
+                adaptive=(self.engine == "auto"),
+                track_aux=True,
+            )
+        if frontier.token is not self.states:
+            states = self.states
+            frontier.rebuild(
+                states != WHITE, token=states, aux=(states == BLACK1)
+            )
+        return frontier
+
+    def _neighbor_flags(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(exists(black1), exists(black))`` via the active engine."""
+        frontier = self._frontier_aggregates()
+        if frontier is not None:
+            return frontier.aux_has, frontier.has_black
+        states = self.states
+        has_black1_nbr = self._aggregate(
+            "exists_black1", lambda: self.ops.exists(states == BLACK1)
+        )
+        has_black_nbr = self._aggregate(
+            "exists_black", lambda: self.ops.exists(states != WHITE)
+        )
+        return has_black1_nbr, has_black_nbr
 
     # ------------------------------------------------------------------
     def _advance(self) -> None:
@@ -89,8 +138,7 @@ class ThreeStateMIS(MISProcess):
         is_black1 = states == BLACK1
         is_black0 = states == BLACK0
         is_white = states == WHITE
-        has_black1_nbr = self.ops.exists(is_black1)
-        has_black_nbr = self.ops.exists(is_black1 | is_black0)
+        has_black1_nbr, has_black_nbr = self._neighbor_flags()
 
         randomize = (
             is_black1
@@ -104,6 +152,22 @@ class ThreeStateMIS(MISProcess):
         new_states[randomize & phi] = BLACK1
         new_states[randomize & ~phi] = BLACK0
         new_states[demote] = WHITE
+        frontier = self._frontier_aggregates()
+        if frontier is not None:
+            changed = np.flatnonzero(new_states != states)
+            old_black = states[changed] != WHITE
+            new_black = new_states[changed] != WHITE
+            old_black1 = states[changed] == BLACK1
+            new_black1 = new_states[changed] == BLACK1
+            frontier.advance(
+                new_states != WHITE,
+                up=changed[new_black & ~old_black],
+                down=changed[old_black & ~new_black],
+                token=new_states,
+                aux_mask=new_states == BLACK1,
+                aux_up=changed[new_black1 & ~old_black1],
+                aux_down=changed[old_black1 & ~new_black1],
+            )
         self.states = new_states
 
     # ------------------------------------------------------------------
@@ -121,8 +185,7 @@ class ThreeStateMIS(MISProcess):
         is_black1 = self.states == BLACK1
         is_black0 = self.states == BLACK0
         is_white = self.states == WHITE
-        has_black1_nbr = self.ops.exists(is_black1)
-        has_black_nbr = self.ops.exists(is_black1 | is_black0)
+        has_black1_nbr, has_black_nbr = self._neighbor_flags()
         return (
             is_black1
             | (is_black0 & ~has_black1_nbr)
@@ -134,3 +197,4 @@ class ThreeStateMIS(MISProcess):
 
     def corrupt(self, states: np.ndarray) -> None:
         self.states = validate_three_state(states, self.n)
+        self._state_changed()

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.frontier import FrontierAggregates, resolve_engine
 from repro.core.process import MISProcess
 from repro.core.states import validate_two_state
 from repro.graphs.graph import Graph
@@ -67,11 +68,18 @@ class TwoStateMIS(MISProcess):
         vertex with no black neighbour turns black with probability 1
         instead of 1/2.  Black-with-black-neighbour transitions keep the
         fair coin.  Default ``False`` (the paper's process).
+    engine:
+        Aggregate engine (see :mod:`repro.core.frontier`): ``"full"``
+        recomputes the neighbourhood reduction every round, ``"frontier"``
+        scatter-updates persistent black-neighbour counts along only
+        the changed vertices' edges, and ``"auto"`` (default) switches
+        between the two per round at the empirical volume crossover.
+        All three produce bitwise-identical trajectories.
 
     Notes
     -----
     Per round, exactly one ``bits(n)`` draw is consumed from the coin
-    source — the φ_t array of §2.1.
+    source — the φ_t array of §2.1 — regardless of the engine.
     """
 
     name = "2-state"
@@ -84,27 +92,146 @@ class TwoStateMIS(MISProcess):
         init: np.ndarray | str | None = None,
         backend: str = "auto",
         eager_white_promotion: bool = False,
+        engine: str = "auto",
     ) -> None:
         super().__init__(graph, coins, backend)
         self.black = resolve_two_state_init(init, self.n, self.coins)
         self.eager_white_promotion = bool(eager_white_promotion)
+        self.engine = resolve_engine(engine)
+        # Frontier-localized active set: sorted indices of A_t, kept
+        # only while small (see _advance); None = not maintained.
+        self._active_idx: np.ndarray | None = None
+        self._active_token: object = None
 
     # ------------------------------------------------------------------
+    def _state_token(self) -> object:
+        return self.black
+
+    def _state_changed(self) -> None:
+        self._active_idx = None
+        super()._state_changed()
+
+    def _frontier_aggregates(self) -> FrontierAggregates | None:
+        if self.engine == "full":
+            return None
+        frontier = self._frontier
+        if frontier is None:
+            frontier = self._frontier = FrontierAggregates(
+                self.graph, self.ops, adaptive=(self.engine == "auto")
+            )
+        if frontier.token is not self.black:
+            frontier.rebuild(self.black, token=self.black)
+        return frontier
+
+    def _has_black_neighbor(self) -> np.ndarray:
+        """``exists(B_t)`` via the engine-appropriate path (no mutation)."""
+        frontier = self._frontier_aggregates()
+        if frontier is not None:
+            return frontier.has_black
+        return self._aggregate(
+            "exists_black", lambda: self.ops.exists(self.black)
+        )
+
+    # ------------------------------------------------------------------
+    #: |A_t| bound (as a fraction of n) below which the active set is
+    #: maintained as an index array instead of recomputed as a mask —
+    #: past it, per-round cost is O(|A_t| + vol(changed)) + the coin
+    #: draw, with no length-n pass at all.
+    _ACTIVE_IDX_FRACTION = 64
+
     def _advance(self) -> None:
         black = self.black
-        has_black_nbr = self.ops.exists(black)
-        active = np.where(black, has_black_nbr, ~has_black_nbr)
+        frontier = self._frontier_aggregates()
+        if (
+            frontier is not None
+            and not self.eager_white_promotion
+            and self._active_idx is not None
+            and self._active_token is black
+        ):
+            self._advance_on_active_idx(frontier)
+            return
+        has_black_nbr = self._has_black_neighbor()
+        # A_t = (black & has) | (~black & ~has), i.e. elementwise XNOR.
+        active = black == has_black_nbr
         phi = self.coins.bits(self.n)
-        new_black = black.copy()
         if self.eager_white_promotion:
             # Ablation: active white vertices turn black deterministically;
             # active black vertices still flip the fair coin.
+            new_black = black.copy()
             new_black[active & ~black] = True
             active_black = active & black
             new_black[active_black] = phi[active_black]
+            changed_mask = new_black != black
         else:
-            new_black[active] = phi[active]
+            # Active vertices adopt phi; equivalently, flip exactly the
+            # active vertices whose coin differs from their state.
+            changed_mask = active & (phi ^ black)
+            new_black = black ^ changed_mask
+        if frontier is not None:
+            changed = np.flatnonzero(changed_mask)
+            up = changed[new_black[changed]]
+            down = changed[~new_black[changed]]
+            touched = frontier.advance(new_black, up, down, token=new_black)
+            if (
+                not self.eager_white_promotion
+                and touched is not None
+                and int(np.count_nonzero(active))
+                * self._ACTIVE_IDX_FRACTION
+                < self.n
+            ):
+                # The frontier has collapsed: start maintaining A_t as
+                # a sorted index array (exact — A_t can only flip at
+                # changed vertices and their neighbours).
+                self._active_idx = np.flatnonzero(active & ~changed_mask)
+                self._sync_active_idx(
+                    new_black, frontier, np.concatenate((changed, touched))
+                )
+            else:
+                self._active_idx = None
         self.black = new_black
+
+    def _advance_on_active_idx(self, frontier) -> None:
+        """One round touching only A_t and the changed edges.
+
+        Trajectory-identical to the mask path: φ_t is still a full
+        ``bits(n)`` draw (§2.1's coin discipline), but it is only read
+        at the active vertices, and every update is index-based.
+        """
+        black = self.black
+        act = self._active_idx
+        phi = self.coins.bits(self.n)
+        flips = phi[act] ^ black[act]
+        changed = act[flips]
+        new_black = black.copy()
+        new_black[changed] = phi[changed]
+        up = changed[new_black[changed]]
+        down = changed[~new_black[changed]]
+        touched = frontier.advance(new_black, up, down, token=new_black)
+        if touched is None:  # full-recompute round: candidates unknown
+            self._active_idx = None
+        else:
+            # A_t flips only where blackness or has_black changed.
+            self._active_idx = act[~flips]
+            self._sync_active_idx(
+                new_black, frontier, np.concatenate((changed, touched))
+            )
+        self.black = new_black
+
+    def _sync_active_idx(self, new_black, frontier, candidates) -> None:
+        """Merge the candidates' new activity into the index set."""
+        act_now = new_black[candidates] == frontier.has_black[candidates]
+        activated = candidates[act_now]
+        deactivated = candidates[~act_now]
+        idx = self._active_idx
+        if deactivated.size:
+            idx = np.setdiff1d(idx, deactivated)
+        if activated.size:
+            idx = np.union1d(idx, activated)
+        if idx.size * self._ACTIVE_IDX_FRACTION >= self.n:
+            self._active_idx = None  # regime left; masks are cheaper
+        else:
+            self._active_idx = idx
+            self._active_token = new_black
 
     # ------------------------------------------------------------------
     def black_mask(self) -> np.ndarray:
@@ -112,14 +239,15 @@ class TwoStateMIS(MISProcess):
 
     def active_mask(self) -> np.ndarray:
         """``A_t``: black with a black neighbour, or white with none."""
-        has_black_nbr = self.ops.exists(self.black)
-        return np.where(self.black, has_black_nbr, ~has_black_nbr)
+        # (black & has) | (~black & ~has) — elementwise XNOR.
+        return self.black == self._has_black_neighbor()
 
     def state_vector(self) -> np.ndarray:
         return self.black.copy()
 
     def corrupt(self, states: np.ndarray) -> None:
         self.black = validate_two_state(states, self.n)
+        self._state_changed()
 
     def corrupt_vertices(self, vertices, black: bool) -> None:
         """Set the given vertices' colors (targeted fault injection)."""
@@ -127,6 +255,7 @@ class TwoStateMIS(MISProcess):
         if idx.size and (idx.min() < 0 or idx.max() >= self.n):
             raise ValueError("vertex index out of range")
         self.black[idx] = black
+        self._state_changed()
 
     # ------------------------------------------------------------------
     # Extra introspection used by the analysis experiments

@@ -1,6 +1,6 @@
-"""E18 — design-choice ablations (DESIGN.md §5).
+"""E18 — design-choice ablations (DESIGN.md §5 table).
 
-Two ablations on the 2-state process:
+Three ablations on the 2-state process:
 
 1. **Transition randomization (footnote 1).**  The paper's process
    randomizes the white→black promotion (probability 1/2) "because it
@@ -15,6 +15,14 @@ Two ablations on the 2-state process:
 2. **Neighbourhood backend.**  Steps/second under the dense (matmul),
    bitset (popcount), sparse (CSR) and pure-python backends on a dense and a sparse
    workload, justifying the ``make_neighbor_ops`` auto heuristic.
+
+3. **Aggregate engine (ISSUE 4).**  Wall time of a trajectory-recorded
+   ``run_until_stable`` on a sparse G(n, 3/n) under
+   ``engine="full"`` / ``"frontier"`` / ``"auto"`` (see
+   :mod:`repro.core.frontier`).  The verdict asserts the engines'
+   trajectories are identical per seed (same stabilization round, same
+   MIS, same aggregate curves); the wall-time columns report the
+   incremental engine's payoff, which grows with n.
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ from repro.sim.montecarlo import estimate_stabilization_time
 from repro.sim.stats import mann_whitney_faster
 
 
-@register("E18", "Ablations: transition randomization; backend choice")
+@register("E18", "Ablations: transition randomization; backend; engine")
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     if fast:
         n = 256
@@ -135,10 +143,62 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
         rows2[1][3] >= 0.5 * rows2[1][1]
     )
 
+    # --- Ablation 3: aggregate engine (full vs frontier vs auto) ---
+    from repro.sim.runner import run_until_stable
+
+    n_engine = 8 * n
+    engine_graph = gnp_random_graph(n_engine, 3.0 / n_engine, rng=seed + 9)
+    rows3 = []
+    engine_runs = {}
+    for engine in ("full", "frontier", "auto"):
+        proc = TwoStateMIS(engine_graph, coins=seed + 13, engine=engine)
+        start = time.perf_counter()
+        result = run_until_stable(
+            proc,
+            max_rounds=500 * int(math.log2(n_engine)) ** 2,
+            record_trace=True,
+        )
+        elapsed = time.perf_counter() - start
+        engine_runs[engine] = result
+        rows3.append(
+            [
+                engine,
+                result.stabilization_round,
+                f"{elapsed * 1e3:.1f}ms",
+                result.rounds_executed / max(elapsed, 1e-9),
+            ]
+        )
+    table3 = format_table(
+        ["engine", "stab. round", "wall time", "rounds/s"],
+        rows3,
+        title=(
+            f"Aggregate-engine ablation: trajectory-recorded run on "
+            f"G({n_engine}, 3/n)"
+        ),
+    )
+    reference = engine_runs["full"]
+    ref_curves = reference.trace.as_arrays()
+    verdicts["engines agree on the stabilization round"] = all(
+        run.stabilization_round == reference.stabilization_round
+        for run in engine_runs.values()
+    )
+    verdicts["engines agree on the MIS and trajectory"] = all(
+        np.array_equal(run.mis, reference.mis)
+        and all(
+            np.array_equal(run.trace.as_arrays()[key], curve)
+            for key, curve in ref_curves.items()
+        )
+        for run in engine_runs.values()
+    )
+
     return ExperimentResult(
         experiment_id="E18",
-        title="Design ablations (footnote 1; neighbourhood backends)",
-        tables=[table1, table2],
+        title="Design ablations (footnote 1; backends; aggregate engine)",
+        tables=[table1, table2, table3],
         verdicts=verdicts,
-        data={"footnote1": rows1, "backends": rows2},
+        data={
+            "footnote1": rows1,
+            "backends": rows2,
+            "engines": rows3,
+        },
     )

@@ -61,7 +61,9 @@ class Graph:
         "_adj_cache",
         "_adj_sets_cache",
         "_nbr_cache",
+        "_degrees",
         "_csr",
+        "_csr32",
         "_dense",
         "_bits",
     )
@@ -104,7 +106,9 @@ class Graph:
         self._adj_cache = None
         self._adj_sets_cache = None
         self._nbr_cache = {}
+        self._degrees = None
         self._csr = None
+        self._csr32 = None
         self._dense = None
         self._bits = None
         if us.size == 0 or n == 0:
@@ -263,8 +267,10 @@ class Graph:
         return int(self._indptr[u + 1] - self._indptr[u])
 
     def degrees(self) -> np.ndarray:
-        """Degree sequence as an ``int64`` array indexed by vertex."""
-        return np.diff(self._indptr).astype(np.int64)
+        """Degree sequence as a cached ``int64`` array (do not mutate)."""
+        if self._degrees is None:
+            self._degrees = np.diff(self._indptr).astype(np.int64)
+        return self._degrees
 
     def max_degree(self) -> int:
         """Maximum degree Δ (0 for the empty graph)."""
@@ -466,6 +472,29 @@ class Graph:
             self._csr = mat
         return self._csr
 
+    def adjacency_csr_int32(self):
+        """int32-data variant of :meth:`adjacency_csr` (cached).
+
+        The sparse matvec backends reduce in int32; handing every
+        :class:`~repro.core.neighbor_ops.SparseNeighborOps` instance
+        one shared, canonical-format int32 matrix avoids a per-process
+        data copy and scipy's O(m) canonical-format re-check on the
+        first product.
+        """
+        if self._csr32 is None:
+            from scipy import sparse
+
+            data = np.ones(self._indices.size, dtype=np.int32)
+            mat = sparse.csr_matrix(
+                (data, self._indices, self._indptr),
+                shape=(self._n, self._n),
+                copy=False,
+            )
+            mat.has_sorted_indices = True
+            mat.has_canonical_format = True
+            self._csr32 = mat
+        return self._csr32
+
     def adjacency_dense(self) -> np.ndarray:
         """Adjacency matrix as a cached dense int8 numpy array."""
         if self._dense is None:
@@ -618,7 +647,9 @@ class Graph:
         self._adj_cache = None
         self._adj_sets_cache = None
         self._nbr_cache = {}
+        self._degrees = None
         self._csr = None
+        self._csr32 = None
         self._dense = None
         self._bits = None
 

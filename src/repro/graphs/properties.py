@@ -241,7 +241,7 @@ def max_common_neighbors(graph: Graph) -> int:
         sq = a @ a
         np.fill_diagonal(sq, 0)
         return int(sq.max())
-    a = graph.adjacency_csr().astype(np.int32)
+    a = graph.adjacency_csr_int32()
     sq = (a @ a).tolil()
     sq.setdiag(0)
     data = sq.tocsr().data

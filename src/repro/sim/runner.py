@@ -6,6 +6,15 @@ the resulting MIS.  The stabilization *time* reported is the earliest
 round at the end of which all vertices are stable — exactly the paper's
 definition — found by checking the predicate after every round.
 
+The per-round predicate is cheap: processes memoize their
+neighbourhood reductions per state version (so ``step()`` and
+``is_stabilized()`` share one computation instead of recomputing —
+see :meth:`repro.core.process.MISProcess._aggregate`), and processes
+running the incremental frontier engine (:mod:`repro.core.frontier`,
+the 2-/3-state default) answer it from an O(1) unstable-vertex
+counter, with trace snapshots served from the same maintained
+aggregates.
+
 For Monte-Carlo campaigns, :func:`run_many_until_stable` runs a whole
 list of independent processes, routing batchable ones (2-state,
 3-state, 3-color and independently-scheduled processes — see the

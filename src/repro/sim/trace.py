@@ -58,13 +58,17 @@ class TraceRecorder:
         )
 
     def snapshot(self, process) -> None:
-        """Record the process's current aggregates."""
+        """Record the process's current aggregates.
+
+        Uses :meth:`repro.core.process.MISProcess.trajectory_counts`,
+        which frontier-engine processes serve from their maintained
+        aggregates (no per-snapshot reductions on large graphs).
+        """
         trace = self.trace
-        trace.black_counts.append(int(process.black_mask().sum()))
-        trace.active_counts.append(int(process.active_mask().sum()))
-        trace.stable_black_counts.append(
-            int(process.stable_black_mask().sum())
-        )
-        trace.unstable_counts.append(int(process.unstable_mask().sum()))
+        n_black, n_active, n_stable, n_unstable = process.trajectory_counts()
+        trace.black_counts.append(n_black)
+        trace.active_counts.append(n_active)
+        trace.stable_black_counts.append(n_stable)
+        trace.unstable_counts.append(n_unstable)
         if trace.state_vectors is not None:
             trace.state_vectors.append(process.state_vector())

@@ -1,0 +1,413 @@
+"""Frontier-engine equivalence and aggregate-memoization guarantees.
+
+The incremental frontier engine (:mod:`repro.core.frontier`) must be a
+pure performance transformation: for every seed, every round and every
+observable — state vectors, active/stable/covered masks, stabilization
+round, coin-stream position — ``engine="frontier"`` and
+``engine="auto"`` are bitwise-identical to ``engine="full"``.  This
+suite pins that, plus the cache-invalidation paths (``corrupt`` /
+``corrupt_vertices`` / batched-engine write-back) and the
+reduction-count contract of the memoized full path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.frontier import ENGINES, FrontierAggregates, resolve_engine
+from repro.core.neighbor_ops import SparseNeighborOps, gather_neighbors
+from repro.core.three_state import ThreeStateMIS
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.graph import Graph
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.sim.rng import SeededCoins
+from repro.sim.runner import run_until_stable
+
+MAX_ROUNDS = 4000
+
+
+class CountingCoins(SeededCoins):
+    """Seeded coins that count draw calls (stream-position probe)."""
+
+    def __init__(self, seed):
+        super().__init__(seed)
+        self.draws = 0
+
+    def bits(self, n):
+        self.draws += 1
+        return super().bits(n)
+
+    def bernoulli(self, n, prob):
+        self.draws += 1
+        return super().bernoulli(n, prob)
+
+
+class CountingOps(SparseNeighborOps):
+    """Sparse backend that counts neighbourhood reductions."""
+
+    def __init__(self, graph):
+        super().__init__(graph)
+        self.reductions = 0
+
+    def count(self, mask):
+        self.reductions += 1
+        return super().count(mask)
+
+
+def make_pair(cls, graph, seed, engine, **kwargs):
+    coins = CountingCoins(seed)
+    return cls(graph, coins=coins, engine=engine, **kwargs), coins
+
+
+def assert_lockstep_equal(cls, graph, seed, rounds=80, corrupt_at=None, **kw):
+    """Advance one process per engine in lockstep; compare everything."""
+    procs = {}
+    coins = {}
+    for engine in ENGINES:
+        procs[engine], coins[engine] = make_pair(
+            cls, graph, seed, engine, **kw
+        )
+    corrupt_rng = np.random.default_rng(seed + 1)
+    corrupt_states = None
+    if corrupt_at is not None:
+        if cls is TwoStateMIS:
+            corrupt_states = corrupt_rng.random(graph.n) < 0.5
+        else:
+            corrupt_states = corrupt_rng.integers(
+                0, 3, graph.n
+            ).astype(np.int8)
+    for r in range(rounds):
+        reference = None
+        for engine in ENGINES:
+            proc = procs[engine]
+            observed = (
+                proc.state_vector(),
+                proc.active_mask(),
+                proc.stable_black_mask(),
+                proc.covered_mask(),
+                proc.unstable_mask(),
+                proc.is_stabilized(),
+                proc.trajectory_counts(),
+                coins[engine].draws,
+            )
+            if reference is None:
+                reference = observed
+            else:
+                for a, b in zip(observed, reference):
+                    if isinstance(a, np.ndarray):
+                        assert np.array_equal(a, b), (engine, r)
+                    else:
+                        assert a == b, (engine, r)
+        if reference[5]:  # stabilized — nothing changes afterwards
+            break
+        if corrupt_at is not None and r == corrupt_at:
+            for proc in procs.values():
+                proc.corrupt(corrupt_states)
+        for proc in procs.values():
+            proc.step()
+
+
+@st.composite
+def sparse_graphs(draw):
+    n = draw(st.integers(min_value=0, max_value=120))
+    density = draw(st.floats(min_value=0.0, max_value=0.35))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    return gnp_random_graph(n, density, rng=seed)
+
+
+class TestEngineEquivalence:
+    @given(graph=sparse_graphs(), seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_two_state_lockstep(self, graph, seed):
+        assert_lockstep_equal(TwoStateMIS, graph, seed)
+
+    @given(graph=sparse_graphs(), seed=st.integers(0, 2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_three_state_lockstep(self, graph, seed):
+        assert_lockstep_equal(ThreeStateMIS, graph, seed)
+
+    @given(graph=sparse_graphs(), seed=st.integers(0, 2**20))
+    @settings(max_examples=20, deadline=None)
+    def test_two_state_eager_lockstep(self, graph, seed):
+        assert_lockstep_equal(
+            TwoStateMIS, graph, seed, eager_white_promotion=True
+        )
+
+    @given(
+        graph=sparse_graphs(),
+        seed=st.integers(0, 2**20),
+        corrupt_at=st.integers(0, 12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_corrupt_redirties_incremental_state(
+        self, graph, seed, corrupt_at
+    ):
+        assert_lockstep_equal(
+            TwoStateMIS, graph, seed, corrupt_at=corrupt_at
+        )
+
+    @given(
+        graph=sparse_graphs(),
+        seed=st.integers(0, 2**20),
+        corrupt_at=st.integers(0, 12),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_corrupt_three_state(self, graph, seed, corrupt_at):
+        assert_lockstep_equal(
+            ThreeStateMIS, graph, seed, corrupt_at=corrupt_at
+        )
+
+    @given(seed=st.integers(0, 2**20), check_every=st.integers(1, 7))
+    @settings(max_examples=25, deadline=None)
+    def test_run_until_stable_check_every(self, seed, check_every):
+        graph = gnp_random_graph(96, 0.05, rng=seed)
+        results = {}
+        for engine in ENGINES:
+            proc = TwoStateMIS(graph, coins=seed, engine=engine)
+            results[engine] = (
+                run_until_stable(
+                    proc, max_rounds=MAX_ROUNDS, check_every=check_every
+                ),
+                proc.state_vector(),
+            )
+        ref, ref_state = results["full"]
+        for engine in ("frontier", "auto"):
+            res, state = results[engine]
+            assert res.stabilization_round == ref.stabilization_round
+            assert res.rounds_executed == ref.rounds_executed
+            assert np.array_equal(res.mis, ref.mis)
+            assert np.array_equal(state, ref_state)
+
+    def test_corrupt_vertices_dirties_counts(self):
+        graph = gnp_random_graph(150, 0.04, rng=3)
+        procs = {
+            e: TwoStateMIS(graph, coins=11, engine=e) for e in ENGINES
+        }
+        for proc in procs.values():
+            proc.step(3)
+            proc.corrupt_vertices([0, 5, 9, 100], black=True)
+            proc.corrupt_vertices([1, 6], black=False)
+        ref = None
+        for engine, proc in procs.items():
+            observed = (
+                proc.covered_mask(),
+                proc.stable_black_mask(),
+                proc.is_stabilized(),
+            )
+            if ref is None:
+                ref = observed
+            else:
+                assert np.array_equal(observed[0], ref[0]), engine
+                assert np.array_equal(observed[1], ref[1]), engine
+                assert observed[2] == ref[2]
+        # and the subsequent trajectories still agree
+        finals = {
+            e: run_until_stable(p, max_rounds=MAX_ROUNDS)
+            for e, p in procs.items()
+        }
+        for engine in ("frontier", "auto"):
+            assert (
+                finals[engine].stabilization_round
+                == finals["full"].stabilization_round
+            )
+            assert np.array_equal(finals[engine].mis, finals["full"].mis)
+
+    def test_batched_writeback_invalidates_aggregates(self):
+        from repro.core.batched import BatchedTwoStateMIS
+
+        graph = gnp_random_graph(80, 0.06, rng=5)
+        procs = [
+            TwoStateMIS(graph, coins=s, engine="auto") for s in range(6)
+        ]
+        # Touch the frontier state before the batched run (the
+        # write-back below must invalidate it, not reuse it).
+        for proc in procs:
+            proc.is_stabilized()
+        results = BatchedTwoStateMIS(procs).run(max_rounds=MAX_ROUNDS)
+        for proc, result in zip(procs, results):
+            assert result.stabilized
+            # The write-back rebound process.black; the stale frontier
+            # aggregates must be rebuilt, not reused.
+            assert proc.is_stabilized()
+            fresh = TwoStateMIS(
+                graph, coins=0, engine="full", init=proc.black
+            )
+            assert np.array_equal(
+                proc.covered_mask(), fresh.covered_mask()
+            )
+
+    def test_trace_recording_equivalent(self):
+        graph = gnp_random_graph(200, 0.03, rng=9)
+        traces = {}
+        for engine in ENGINES:
+            proc = TwoStateMIS(graph, coins=4, engine=engine)
+            res = run_until_stable(
+                proc, max_rounds=MAX_ROUNDS, record_trace=True
+            )
+            traces[engine] = res.trace.as_arrays()
+        for engine in ("frontier", "auto"):
+            for key, curve in traces["full"].items():
+                assert np.array_equal(traces[engine][key], curve), (
+                    engine,
+                    key,
+                )
+
+
+class TestEngineParameter:
+    def test_resolve_engine_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("warp")
+        with pytest.raises(ValueError):
+            TwoStateMIS(Graph(4, [(0, 1)]), coins=0, engine="warp")
+        with pytest.raises(ValueError):
+            ThreeStateMIS(Graph(4, [(0, 1)]), coins=0, engine="warp")
+
+    def test_engines_accepted(self):
+        graph = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        for engine in ENGINES:
+            proc = TwoStateMIS(graph, coins=0, engine=engine)
+            assert proc.engine == engine
+            run_until_stable(proc, max_rounds=MAX_ROUNDS)
+
+    def test_empty_and_singleton_graphs(self):
+        for n in (0, 1):
+            graph = Graph(n)
+            for engine in ENGINES:
+                proc = TwoStateMIS(graph, coins=0, engine=engine)
+                res = run_until_stable(proc, max_rounds=50)
+                assert res.stabilized
+
+    def test_auto_switches_to_scatter(self):
+        graph = gnp_random_graph(4096, 3.0 / 4096, rng=0)
+        proc = TwoStateMIS(graph, coins=1, engine="auto")
+        run_until_stable(proc, max_rounds=MAX_ROUNDS, verify=False)
+        frontier = proc._frontier
+        assert frontier is not None
+        assert frontier.scatter_rounds > 0
+
+    def test_frontier_mode_always_scatters(self):
+        graph = gnp_random_graph(512, 0.02, rng=0)
+        proc = TwoStateMIS(graph, coins=1, engine="frontier")
+        run_until_stable(proc, max_rounds=MAX_ROUNDS, verify=False)
+        assert proc._frontier.full_rounds == 0
+
+
+class TestFrontierAggregates:
+    def test_rebuild_matches_reductions(self):
+        graph = gnp_random_graph(300, 0.05, rng=1)
+        proc = TwoStateMIS(graph, coins=2, engine="full")
+        frontier = FrontierAggregates(graph, proc.ops)
+        frontier.rebuild(proc.black, token=proc.black)
+        assert np.array_equal(
+            frontier.counts, proc.ops.count(proc.black)
+        )
+        assert np.array_equal(
+            frontier.has_black, proc.ops.exists(proc.black)
+        )
+        assert np.array_equal(frontier.stable, proc.stable_black_mask())
+        assert np.array_equal(frontier.covered, proc.covered_mask())
+        assert frontier.unstable_total == int(
+            np.count_nonzero(proc.unstable_mask())
+        )
+
+    def test_removal_fallback_recomputes(self):
+        # Removals from I_t cannot arise from the dynamics, but the
+        # tracker must stay exact if driven there by hand.
+        graph = Graph(4, [(0, 1), (2, 3)])
+        ops = SparseNeighborOps(graph)
+        frontier = FrontierAggregates(graph, ops)
+        black = np.array([True, False, True, False])
+        frontier.rebuild(black, token=black)
+        assert frontier.unstable_total == 0
+        new_black = np.array([True, True, True, False])  # 1 joins 0
+        frontier.advance(
+            new_black,
+            up=np.array([1]),
+            down=np.array([], dtype=np.int64),
+            token=new_black,
+        )
+        assert np.array_equal(
+            frontier.stable, new_black & ~ops.exists(new_black)
+        )
+        stable = frontier.stable
+        covered = stable | ops.exists(stable)
+        assert np.array_equal(frontier.covered, covered)
+        assert frontier.unstable_total == int(
+            np.count_nonzero(~covered)
+        )
+
+    def test_gather_neighbors_matches_slices(self):
+        graph = gnp_random_graph(60, 0.2, rng=2)
+        rng = np.random.default_rng(0)
+        for k in (0, 1, 7, 60):
+            verts = rng.choice(60, size=k, replace=False)
+            expected = (
+                np.concatenate(
+                    [
+                        graph.indices[
+                            graph.indptr[v]:graph.indptr[v + 1]
+                        ]
+                        for v in verts
+                    ]
+                )
+                if k
+                else graph.indices[:0]
+            )
+            got = gather_neighbors(graph.indptr, graph.indices, verts)
+            assert np.array_equal(got, expected)
+
+    def test_apply_count_delta_roundtrip(self):
+        graph = gnp_random_graph(200, 0.08, rng=4)
+        ops = SparseNeighborOps(graph)
+        rng = np.random.default_rng(1)
+        mask = rng.random(200) < 0.5
+        counts = ops.count(mask).astype(np.int64)
+        flip_up = rng.choice(np.flatnonzero(~mask), 40, replace=False)
+        flip_down = rng.choice(np.flatnonzero(mask), 40, replace=False)
+        new_mask = mask.copy()
+        new_mask[flip_up] = True
+        new_mask[flip_down] = False
+        ops.apply_count_delta(counts, flip_up, flip_down)
+        assert np.array_equal(counts, ops.count(new_mask))
+
+
+class TestMemoizedFullPath:
+    def test_run_until_stable_two_reductions_per_round(self):
+        """The memo kills the redundant step/is_stabilized recompute.
+
+        Per round of the full-path run loop: ``is_stabilized`` misses
+        on exists(black) and exists(I); the next ``_advance`` reuses
+        the cached exists(black).  Total reductions for R rounds are
+        exactly 2R + 2 (the +2 is the pre-loop stabilization check).
+        """
+        graph = gnp_random_graph(220, 0.04, rng=7)
+        ops = CountingOps(graph)
+        proc = TwoStateMIS(graph, coins=3, engine="full")
+        proc.ops = ops
+        result = run_until_stable(proc, max_rounds=MAX_ROUNDS)
+        assert result.stabilized
+        assert ops.reductions == 2 * result.rounds_executed + 2
+
+    def test_aggregate_cache_invalidated_by_state_change(self):
+        graph = gnp_random_graph(60, 0.1, rng=8)
+        proc = TwoStateMIS(graph, coins=2, engine="full")
+        before = proc.active_mask()
+        proc.corrupt_vertices(range(30), black=True)
+        after = proc.active_mask()
+        fresh = TwoStateMIS(
+            graph, coins=0, engine="full", init=proc.black
+        )
+        assert np.array_equal(after, fresh.active_mask())
+        assert before.shape == after.shape
+
+    def test_frontier_is_stabilized_constant_time(self):
+        graph = gnp_random_graph(400, 0.02, rng=9)
+        proc = TwoStateMIS(graph, coins=1, engine="frontier")
+        run_until_stable(proc, max_rounds=MAX_ROUNDS, verify=False)
+        ops = CountingOps(graph)
+        proc.ops = ops
+        # The frontier state is synced; the O(1) counter needs no
+        # further reductions no matter how often it is polled.
+        for _ in range(5):
+            assert proc.is_stabilized()
+        assert ops.reductions == 0
