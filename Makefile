@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast docs check-docs bench bench-batched bench-families bench-substrate bench-frontier bench-fast bench-smoke ci
+.PHONY: test test-fast docs check-docs bench bench-batched bench-families bench-substrate bench-frontier bench-batched-frontier bench-fast check-bench bench-smoke ci
 
 test:            ## full test suite (tier-1 gate)
 	$(PYTHON) -m pytest -x -q
@@ -30,8 +30,14 @@ bench-substrate: ## CSR substrate vs tuple/set representation at n = 2^20
 bench-frontier:  ## frontier engine vs PR 3 full-recompute path at n = 2^18 (>=5x asserted)
 	$(PYTHON) benchmarks/bench_frontier.py
 
-bench-fast:      ## fast-mode speedups -> BENCH_{frontier,substrate,batched}.json at repo root
+bench-batched-frontier:  ## batched frontier vs PR 2 full-reduction fleet (>=3x asserted on the tail-heavy workload)
+	$(PYTHON) benchmarks/bench_batched_frontier.py
+
+bench-fast:      ## fast-mode speedups -> BENCH_*.json at repo root
 	$(PYTHON) benchmarks/emit_bench_json.py
+
+check-bench:     ## fail if any BENCH_*.json entry regresses its speedup floor
+	$(PYTHON) tools/check_bench.py
 
 ci: test check-docs bench-smoke   ## what the CI workflow runs
 
@@ -39,4 +45,5 @@ bench-smoke:     ## CI-scale regression smoke (batched engines, substrate, front
 	BENCH_FAST=1 $(PYTHON) benchmarks/bench_batched_families.py
 	BENCH_FAST=1 $(PYTHON) benchmarks/bench_graph_substrate.py
 	BENCH_FAST=1 $(PYTHON) benchmarks/bench_frontier.py
+	BENCH_FAST=1 $(PYTHON) benchmarks/bench_batched_frontier.py
 	$(PYTHON) -m repro.experiments run E19

@@ -1,4 +1,4 @@
-"""Ablation: neighbourhood-ops backend choice (DESIGN.md §5).
+"""Ablation: neighbourhood-ops backend choice (DESIGN.md §6).
 
 Times 100 rounds of the 2-state process on the same graphs under the
 dense, bitset, sparse and pure-python backends.  The auto heuristic in

@@ -1,7 +1,7 @@
 """Benchmark-suite helpers.
 
 Each ``bench_eN_*.py`` regenerates one experiment (the reproduction's
-analogue of the paper's tables/figures — see DESIGN.md §5) inside a
+analogue of the paper's tables/figures — see DESIGN.md §6) inside a
 pytest-benchmark measurement, asserts its verdicts, and adds
 micro-benchmarks of the underlying workload.  Run with::
 

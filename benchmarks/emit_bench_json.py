@@ -2,18 +2,30 @@
 
 Runs the fast-mode variants of the acceptance benchmarks and writes
 one JSON file per family at the repo root, each a list of
-``{workload, seconds, speedup, commit}`` entries:
+``{workload, mode, seconds, speedup, floor, commit}`` entries:
 
-* ``BENCH_frontier.json``  — frontier engine vs the PR 3 full-recompute
-  path (``benchmarks/bench_frontier.py``);
-* ``BENCH_substrate.json`` — CSR-native Graph vs the legacy tuple/set
-  representation (``benchmarks/bench_graph_substrate.py``);
-* ``BENCH_batched.json``   — batched vs serial Monte-Carlo trials
-  (``benchmarks/bench_batched_trials.py``).
+* ``BENCH_frontier.json``         — frontier engine vs the PR 3
+  full-recompute path (``benchmarks/bench_frontier.py``);
+* ``BENCH_substrate.json``        — CSR-native Graph vs the legacy
+  tuple/set representation (``benchmarks/bench_graph_substrate.py``);
+* ``BENCH_batched.json``          — batched vs serial Monte-Carlo
+  trials (``benchmarks/bench_batched_trials.py``);
+* ``BENCH_batched_frontier.json`` — batched frontier engine vs the
+  PR 2 full-reduction batched path
+  (``benchmarks/bench_batched_frontier.py``).
 
-The files are the start of the repo's perf trajectory: every commit
-that runs ``make bench-fast`` snapshots its speedups in a greppable,
-plottable form.  Full-size numbers come from the individual benches'
+Every ``workload`` string names the *exact* parameters the entry
+measured (the fast/CI workload — not the full-size acceptance workload
+whose floors the bench modules assert standalone), and ``mode`` makes
+the distinction machine-readable; an earlier revision's
+``BENCH_frontier.json`` read ambiguously because the label looked like
+the full-size asserted benchmark.  ``floor`` is the entry's regression
+gate: ``tools/check_bench.py`` (CI's last bench step) fails the build
+if any committed entry's ``speedup`` drops below its ``floor``.
+
+The files are the repo's perf trajectory: every commit that runs
+``make bench-fast`` snapshots its speedups in a greppable, plottable
+form.  Full-size numbers come from the individual benches'
 ``__main__`` reports; this emitter deliberately uses the fast (CI
 smoke) workloads so it stays cheap enough to run on every commit.
 
@@ -53,25 +65,38 @@ def current_commit() -> str:
     return out.stdout.strip() if out.returncode == 0 else "unknown"
 
 
-def entry(workload: str, seconds: float, speedup: float, commit: str) -> dict:
+def entry(
+    workload: str,
+    seconds: float,
+    speedup: float,
+    floor: float,
+    commit: str,
+) -> dict:
     return {
         "workload": workload,
+        "mode": "fast",
         "seconds": round(float(seconds), 6),
         "speedup": round(float(speedup), 3),
+        "floor": float(floor),
         "commit": commit,
     }
 
 
 def frontier_entries(commit: str) -> list[dict]:
-    import bench_frontier
+    import bench_frontier as bf
 
-    results = bench_frontier.measure()
-    n_label = f"2-state G(2^{bench_frontier.N.bit_length() - 1}, 3/n)"
+    results = bf.measure()
+    label = f"2-state G(n={bf.N}, 3/n), seed {bf.SEED}, single run"
+    floors = {
+        "trajectory": bf.MIN_TRAJECTORY_SPEEDUP,
+        "plain": bf.MIN_PLAIN_SPEEDUP,
+    }
     return [
         entry(
-            f"frontier {name} run, {n_label}",
+            f"frontier engine, {name} {label}",
             r["frontier_s"],
             r["speedup"],
+            floors[name],
             commit,
         )
         for name, r in results.items()
@@ -79,21 +104,23 @@ def frontier_entries(commit: str) -> list[dict]:
 
 
 def substrate_entries(commit: str) -> list[dict]:
-    import bench_graph_substrate
+    import bench_graph_substrate as bgs
 
-    r = bench_graph_substrate._measure()
-    n_label = f"G(2^{bench_graph_substrate.N.bit_length() - 1}, 3/n)"
+    r = bgs._measure()
+    label = f"G(n={bgs.N}, 3/n), seed {bgs.SEED}"
     return [
         entry(
-            f"CSR substrate construction, {n_label}",
+            f"CSR substrate construction, {label}",
             r["t_csr"],
             r["speedup"],
+            bgs.MIN_SPEEDUP,
             commit,
         ),
         entry(
-            f"CSR substrate memory ratio, {n_label}",
+            f"CSR substrate memory ratio, {label}",
             r["t_csr"],
             r["memory_ratio"],
+            bgs.MIN_MEMORY_RATIO,
             commit,
         ),
     ]
@@ -112,11 +139,43 @@ def batched_entries(commit: str) -> list[dict]:
     assert np.array_equal(serial.times, batched.times)
     return [
         entry(
-            f"batched trials, {bbt.TRIALS} x 2-state G({bbt.N}, {bbt.P})",
+            f"batched trials, {bbt.TRIALS} x 2-state "
+            f"G(n={bbt.N}, p={bbt.P}), shared graph",
             end - mid,
             (mid - start) / (end - mid),
+            # CI-safe regression floor; the full-size bench asserts 5x.
+            2.5,
             commit,
         )
+    ]
+
+
+def batched_frontier_entries(commit: str) -> list[dict]:
+    import bench_batched_frontier as bbf
+
+    results = bbf.measure()
+    label = (
+        f"{bbf.TRIALS} x 2-state G(n={bbf.N}, 3/n), per-trial resampled"
+    )
+    # Deliberately loose CI-safe floors (a loaded shared runner shrinks
+    # fast-mode ratios); the full-size bench asserts 3x / 1.4x.
+    floors = {"recovery": 1.15, "fleet": 1.0}
+    return [
+        entry(
+            f"batched frontier, "
+            f"{'recovery' if name == 'recovery' else 'clean-start'} "
+            f"fleet, {label}"
+            + (
+                f", {bbf.WAVES} waves x {bbf.CORRUPT} faults/replica"
+                if name == "recovery"
+                else ""
+            ),
+            r["frontier_s"],
+            r["speedup"],
+            floors[name],
+            commit,
+        )
+        for name, r in results.items()
     ]
 
 
@@ -126,6 +185,7 @@ def main() -> None:
         "BENCH_frontier.json": frontier_entries,
         "BENCH_substrate.json": substrate_entries,
         "BENCH_batched.json": batched_entries,
+        "BENCH_batched_frontier.json": batched_frontier_entries,
     }
     for filename, build in families.items():
         entries = build(commit)
@@ -134,7 +194,8 @@ def main() -> None:
         for e in entries:
             print(
                 f"{filename}: {e['workload']}: "
-                f"{e['seconds'] * 1e3:.1f}ms, {e['speedup']}x"
+                f"{e['seconds'] * 1e3:.1f}ms, {e['speedup']}x "
+                f"(floor {e['floor']}x)"
             )
 
 

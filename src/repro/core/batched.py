@@ -37,6 +37,22 @@ by :func:`repro.sim.runner.run_many_until_stable` and
 :func:`repro.sim.montecarlo.estimate_stabilization_time` to group
 processes by engine (no hardcoded type checks).
 
+Aggregate engine
+----------------
+
+Every engine takes ``engine="auto" | "frontier" | "full"`` (default
+``"auto"``, also exposed on the batched entry points): the frontier
+modes maintain the per-replica neighbour counts and the stability
+bookkeeping incrementally (:mod:`repro.core.batched_frontier`), so a
+round's cost tracks the fleet's changed set — bulk rounds for the
+early collapse, flat-index scatter updates plus O(1) retirement for
+the long tail — instead of paying full ``(R, n)`` reductions every
+round.  The 3-color engine accepts the kwarg but always runs the full
+path (its switch diffuses over every closed neighbourhood per round).
+Engines are reusable across :meth:`~_BatchedMISEngine.run` calls
+(state is re-adopted per call), so fault-injection campaigns keep
+their block-diagonal adjacency.
+
 Equivalence contract
 --------------------
 
@@ -77,6 +93,15 @@ from collections.abc import Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.batched_frontier import (
+    BULK_ADVANCE_FRACTION,
+    PAIR_ADVANCE_FRACTION,
+    PAIR_INDEX_FRACTION,
+    BatchedFrontierAggregates,
+    RoundDelta,
+)
+from repro.core.frontier import resolve_engine
+from repro.core.neighbor_ops import SparseNeighborOps, gather_neighbors
 from repro.core.schedulers import (
     IndependentScheduler,
     ScheduledTwoStateMIS,
@@ -144,21 +169,44 @@ def _stack_block_diag(blocks: list, n: int) -> sp.csr_matrix:
     COO and is noticeably slower for many small blocks).
     """
     data = np.concatenate([b.data for b in blocks])
-    # Offsets in int64: R*n can exceed int32 range for large batches of
-    # large graphs, and an int32 wrap would corrupt columns silently.
-    indices = np.concatenate(
-        [b.indices.astype(np.int64) + i * n for i, b in enumerate(blocks)]
+    size = len(blocks) * n
+    nnzs = np.array([b.nnz for b in blocks], dtype=np.int64)
+    total_nnz = int(nnzs.sum())
+    # Index dtype: int32 whenever the flat dimension and nnz fit (the
+    # block matvec is memory-bound, so narrow indices halve its index
+    # traffic); int64 otherwise — R*n can exceed int32 range for large
+    # batches of large graphs, and a wrap would corrupt columns
+    # silently.
+    idx_t = (
+        np.int32
+        if size < np.iinfo(np.int32).max
+        and total_nnz < np.iinfo(np.int32).max
+        else np.int64
     )
-    nnz_offsets = np.cumsum([0] + [b.nnz for b in blocks], dtype=np.int64)
+    # Per-block offsetting keeps each temporary cache-sized; a fully
+    # vectorized repeat-offsets construction benchmarks slower (it
+    # materializes an nnz-length offset array and streams it twice).
+    indices = np.concatenate(
+        [
+            b.indices.astype(idx_t, copy=False) + idx_t(i * n)
+            for i, b in enumerate(blocks)
+        ]
+    )
+    nnz_offsets = np.concatenate(([0], np.cumsum(nnzs)))
     indptr = np.concatenate(
-        [blocks[0].indptr.astype(np.int64)]
+        [blocks[0].indptr.astype(idx_t, copy=False)]
         + [
-            b.indptr[1:].astype(np.int64) + nnz_offsets[i + 1]
+            b.indptr[1:].astype(idx_t, copy=False)
+            + idx_t(nnz_offsets[i + 1])
             for i, b in enumerate(blocks[1:], 0)
         ]
     )
-    size = len(blocks) * n
-    return sp.csr_matrix((data, indices, indptr), shape=(size, size))
+    # Bypass the (data, indices, indptr) constructor: its check_format
+    # pass re-scans every index, an O(nnz) validation of arrays that
+    # are correct by construction here.
+    out = sp.csr_matrix((size, size), dtype=data.dtype)
+    out.data, out.indices, out.indptr = data, indices, indptr
+    return out
 
 
 class _BatchedMISEngine:
@@ -178,6 +226,15 @@ class _BatchedMISEngine:
     #: Serial process type this engine batches (subclasses override).
     process_type: type | None = None
 
+    #: Whether the engine implements the incremental frontier contract
+    #: (delta-reporting ``_advance_rows``); families without it quietly
+    #: run the full-reduction loop whatever ``engine=`` says.
+    supports_frontier = False
+
+    #: Whether the frontier path maintains a second count matrix
+    #: (the 3-state family's black1 indicator).
+    track_aux_counts = False
+
     #: Compact the block-diagonal adjacency once the live fraction of
     #: its rows drops below this threshold.
     _COMPACT_THRESHOLD = 0.5
@@ -187,7 +244,7 @@ class _BatchedMISEngine:
         """Whether this engine can reproduce ``process`` bitwise."""
         return type(process) is cls.process_type
 
-    def __init__(self, processes: Sequence) -> None:
+    def __init__(self, processes: Sequence, engine: str = "auto") -> None:
         processes = list(processes)
         if not processes:
             raise ValueError("need at least one process to batch")
@@ -202,6 +259,7 @@ class _BatchedMISEngine:
             raise ValueError("all batched processes must share n")
         self.processes = processes
         self.n = n
+        self.engine = resolve_engine(engine)
         self.replicas = len(processes)
         self.shared_graph = all(
             p.graph is processes[0].graph for p in processes
@@ -209,9 +267,28 @@ class _BatchedMISEngine:
         self._rounds = np.array([p.round for p in processes], dtype=np.int64)
         self._ops = processes[0].ops if self.shared_graph else None
         self._block: sp.csr_matrix | None = None
+        self._block_indptr64: np.ndarray | None = None
         self._scratch: np.ndarray | None = None
         self._block_size = 0
-        self._gather()
+        #: Live incremental aggregates while a frontier run is active.
+        self._frontier_state: BatchedFrontierAggregates | None = None
+        #: Live activity set, when maintained (2-state): as an
+        #: ``(L, n)`` boolean mask, or — once small — as a sorted flat
+        #: ``row * n + v`` index array.  At most one is non-None.
+        self._act_mask: np.ndarray | None = None
+        self._act_pairs: np.ndarray | None = None
+        #: Post-round live black matrix stashed by frontier-mode
+        #: ``_advance_rows`` (global-matrix writes are deferred to
+        #: retirement, see :meth:`_on_drop`).
+        self._last_new_black: np.ndarray | None = None
+        #: Pairs changed by the previous round (the bulk-round signal);
+        #: engines stash it whenever a frontier run is active.
+        self._changed_count: int | None = None
+        #: Set by the run loop when ``_advance_rows`` must report deltas.
+        self._collect_delta = False
+        #: Reused φ_t buffer (see :meth:`_phi_rows`).
+        self._phi_buf: np.ndarray | None = None
+        self._phi_scratch: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Subclass contract
@@ -244,6 +321,159 @@ class _BatchedMISEngine:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # Frontier contract (engines with supports_frontier = True)
+    # ------------------------------------------------------------------
+    def _aux_rows(self, rows: np.ndarray) -> np.ndarray | None:
+        """Auxiliary indicator rows (engines with track_aux_counts)."""
+        return None
+
+    def _advance_rows_pairs(
+        self, live: np.ndarray, black: np.ndarray, counts: np.ndarray
+    ) -> RoundDelta:
+        """One round driven off the flat active-pair set (optional).
+
+        Engines that maintain ``_act_mask`` (the 2-state engine)
+        override this with an advance that touches only the active
+        pairs and the changed edges, mutating ``black`` *in place*.
+        """
+        raise NotImplementedError
+
+    def _reset_frontier_scratch(self) -> None:
+        """Clear per-run frontier-local state (run start and end)."""
+        self._act_mask = None
+        self._act_pairs = None
+        self._changed_count = None
+        self._last_new_black = None
+
+    def _pair_round_ready(self, size: int) -> bool:
+        """Whether the next round can run on the active-pair set.
+
+        Also manages the activity representation: once the active
+        count drops below ``size / PAIR_INDEX_FRACTION`` the boolean
+        mask is converted to a sorted flat index array, after which
+        the per-round bookkeeping is O(|A_t|) with no length-``L*n``
+        scans at all.
+        """
+        if self._act_pairs is not None:
+            return self._act_pairs.size * PAIR_ADVANCE_FRACTION < size
+        mask = self._act_mask
+        if mask is None:
+            return False
+        count = int(np.count_nonzero(mask))
+        if count * PAIR_ADVANCE_FRACTION >= size:
+            return False
+        if count * PAIR_INDEX_FRACTION < size:
+            self._act_pairs = np.flatnonzero(mask.reshape(-1))
+            self._act_mask = None
+        return True
+
+    def _seed_act_mask(self, black: np.ndarray, has: np.ndarray) -> None:
+        """Seed the activity set after a bulk round (pair engines)."""
+        self._act_mask = None
+        self._act_pairs = None
+
+    def _sync_act_pairs(
+        self,
+        black: np.ndarray,
+        counts: np.ndarray,
+        delta: RoundDelta,
+        touched: np.ndarray | None,
+    ) -> None:
+        """Merge this round's candidates into the activity mask."""
+        # Base engines do not maintain an activity mask.
+
+    def _on_drop(
+        self, live: np.ndarray, keep: np.ndarray, black: np.ndarray
+    ) -> None:
+        """Hook before live rows are filtered out (retire / budget).
+
+        Frontier engines defer their per-round writes into the global
+        ``(R, n)`` state matrices; this hook syncs the dropped rows'
+        final states back (so write-back and ``_writeback_states`` see
+        them) and compacts any frontier-local row-aligned state.
+        """
+        if self._act_mask is not None:
+            self._act_mask = self._act_mask[keep]
+        elif self._act_pairs is not None:
+            n = np.int64(self.n)
+            pairs = self._act_pairs
+            rows = pairs // n
+            keep_pair = keep[rows]
+            if not keep_pair.all():
+                pairs, rows = pairs[keep_pair], rows[keep_pair]
+            new_rows = (np.cumsum(keep) - 1)[rows]
+            self._act_pairs = new_rows * n + (pairs - rows * n)
+
+    # ------------------------------------------------------------------
+    # Flat (replica, vertex) COO helpers for the frontier aggregates
+    # ------------------------------------------------------------------
+    def _row_volumes(self, pos: np.ndarray | None) -> np.ndarray:
+        """Directed edge volume (2m) of each live replica's graph."""
+        if self.shared_graph:
+            vol = self.processes[0].graph.indices.shape[0]
+            size = self.replicas if pos is None else pos.size
+            return np.full(size, vol, dtype=np.int64)
+        indptr = self._block_indptr64
+        n = np.int64(self.n)
+        starts = pos.astype(np.int64) * n
+        return indptr[starts + n] - indptr[starts]
+
+    def _inv_pos(self, pos: np.ndarray) -> np.ndarray:
+        """Inverse of ``pos``: block row → live row."""
+        inv = np.zeros(self._block_size, dtype=np.int64)
+        inv[pos] = np.arange(pos.size, dtype=np.int64)
+        return inv
+
+    def _pair_degrees(
+        self,
+        rows: np.ndarray,
+        verts: np.ndarray,
+        pos: np.ndarray | None,
+    ) -> np.ndarray:
+        """Degree of each (replica, vertex) pair in its own graph."""
+        if self.shared_graph:
+            degs = self.processes[0].graph.degrees()
+            return degs[verts].astype(np.int64, copy=False)
+        indptr = self._block_indptr64
+        b = pos[rows].astype(np.int64) * np.int64(self.n) + verts
+        return indptr[b + 1] - indptr[b]
+
+    def _flat_targets(
+        self,
+        rows: np.ndarray,
+        verts: np.ndarray,
+        pos: np.ndarray | None,
+    ) -> np.ndarray:
+        """Flat ``live_row * n + u`` neighbour targets of the pairs.
+
+        The concatenated neighbour lists of every (replica, vertex)
+        pair, as flat indices into the live ``(L, n)`` matrices — the
+        scatter targets of the batched frontier.  Shared-graph path:
+        one CSR gather from the shared graph plus per-pair ``r * n``
+        offsets.  Block path: the pairs index the block-diagonal CSR
+        directly (its columns are already flat ``block_row * n + u``
+        indices) and come back remapped through ``pos``'s inverse.
+        """
+        n = np.int64(self.n)
+        if rows.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if self.shared_graph:
+            graph = self.processes[0].graph
+            nbrs = gather_neighbors(
+                graph.indptr, graph.indices, verts
+            ).astype(np.int64, copy=False)
+            offsets = np.repeat(
+                rows.astype(np.int64) * n, graph.degrees()[verts]
+            )
+            return nbrs + offsets
+        b = pos[rows].astype(np.int64) * n + verts
+        targets = gather_neighbors(
+            self._block_indptr64, self._block.indices, b
+        ).astype(np.int64, copy=False)
+        brow = targets // n
+        return self._inv_pos(pos)[brow] * n + (targets - brow * n)
+
+    # ------------------------------------------------------------------
     # Batched neighbour reductions
     # ------------------------------------------------------------------
     def _rebuild_block(self, live: np.ndarray) -> None:
@@ -257,6 +487,10 @@ class _BatchedMISEngine:
         )
         self._block_size = live.size
         self._scratch = np.zeros((live.size, self.n), dtype=np.int32)
+        # Cached int64 view of the block indptr: the frontier's flat
+        # gathers index it with 64-bit pair offsets every round, and an
+        # astype per call would copy the whole array each time.
+        self._block_indptr64 = self._block.indptr.astype(np.int64)
 
     def _count_nbrs(
         self, masks: np.ndarray, pos: np.ndarray | None
@@ -272,7 +506,10 @@ class _BatchedMISEngine:
             return self._ops.count_batch(masks)
         self._scratch[pos] = masks
         counts = self._block.dot(self._scratch.reshape(-1))
-        return counts.reshape(self._block_size, self.n)[pos]
+        grid = counts.reshape(self._block_size, self.n)
+        if pos.size == self._block_size:
+            return grid  # pos is the identity permutation; skip the gather
+        return grid[pos]
 
     def _exists_nbrs(
         self, masks: np.ndarray, pos: np.ndarray | None
@@ -337,6 +574,13 @@ class _BatchedMISEngine:
         wrapped process, in input order; the wrapped processes' states
         and round counters are synchronized with the outcome.
 
+        Engines are reusable: each call re-adopts the wrapped
+        processes' *current* states and round counters, so a
+        fault-injection campaign can corrupt the processes between
+        calls and re-run the same engine (the block-diagonal adjacency
+        is kept across calls — the graphs are immutable — unless a
+        previous run compacted it).
+
         Parameters
         ----------
         max_rounds:
@@ -350,12 +594,27 @@ class _BatchedMISEngine:
         if max_rounds < 0:
             raise ValueError("max_rounds must be >= 0")
         results: list[RunResult | None] = [None] * self.replicas
+        # Adopt the processes' *current* state (constructors don't:
+        # anything may mutate the processes — fault injection, manual
+        # steps — between construction and each run).
+        self._rounds = np.array(
+            [p.round for p in self.processes], dtype=np.int64
+        )
+        self._gather()
         start_rounds = self._rounds.copy()
 
-        def retire(rows: np.ndarray) -> None:
-            for r in rows:
+        def retire(rows: np.ndarray, black_rows: np.ndarray) -> None:
+            if rows.size == 0:
+                return
+            # One nonzero pass + split serves every retiring replica.
+            mis_rows, mis_verts = np.nonzero(black_rows)
+            splits = np.split(
+                mis_verts,
+                np.cumsum(np.bincount(mis_rows, minlength=rows.size))[:-1],
+            )
+            for i, r in enumerate(rows):
                 r = int(r)
-                mis = np.flatnonzero(self._black_rows(np.array([r]))[0])
+                mis = splits[i]
                 if verify:
                     assert_valid_mis(self.processes[r].graph, mis)
                 elapsed = int(self._rounds[r] - start_rounds[r])
@@ -369,16 +628,78 @@ class _BatchedMISEngine:
         live = np.arange(self.replicas)
         pos: np.ndarray | None = None
         if not self.shared_graph:
-            self._rebuild_block(live)
+            if self._block is None or self._block_size != self.replicas:
+                self._rebuild_block(live)
             pos = np.arange(self.replicas)
         black = self._black_rows(live)
-        counts = self._count_nbrs(black, pos)
-        covered = self._covered_rows(black, counts, pos)
-        retire(live[covered])
-        keep = ~covered
-        live, black, counts = live[keep], black[keep], counts[keep]
-        if pos is not None:
-            pos = pos[keep]
+        frontier: BatchedFrontierAggregates | None = None
+        self._reset_frontier_scratch()
+        # ``auto`` only engages the frontier where scatter can win: the
+        # block-diagonal path, or a shared graph on the CSR backend.
+        # Against the dense/bitset matmul backends (small or dense
+        # graphs) a full reduction is a near-free BLAS call and the
+        # incremental bookkeeping only adds overhead.  An explicit
+        # ``engine="frontier"`` overrides the heuristic.
+        engage = self.engine == "frontier" or (
+            self.engine == "auto"
+            and (
+                not self.shared_graph
+                or isinstance(self._ops, SparseNeighborOps)
+            )
+        )
+        if engage and self.supports_frontier:
+            frontier = BatchedFrontierAggregates(
+                self,
+                adaptive=(self.engine == "auto"),
+                track_aux=self.track_aux_counts,
+            )
+            frontier.rebuild(black, pos, aux_mask=self._aux_rows(live))
+            # In frontier mode the loop's `counts` variable carries the
+            # materialized ``counts > 0`` boolean (what the update
+            # rules consume); the integer matrix lives in the
+            # aggregates and is only touched by the scatter paths.
+            counts = frontier.has
+            self._frontier_state = frontier
+            # Seed the activity set from the initial aggregates: a
+            # fleet that starts near-stable (the self-stabilization
+            # recovery shape) then rides pair rounds from round 1.
+            self._seed_act_mask(black, counts)
+            covered = frontier.unstable == 0
+        else:
+            counts = self._count_nbrs(black, pos)
+            covered = self._covered_rows(black, counts, pos)
+
+        def drop(keep: np.ndarray):
+            nonlocal live, black, counts, pos
+            self._on_drop(live, keep, black)
+            live, black = live[keep], black[keep]
+            if frontier is not None:
+                frontier.filter(keep)
+                counts = frontier.has
+            else:
+                counts = counts[keep]
+            if pos is not None:
+                pos = pos[keep]
+
+        def maybe_compact():
+            # The frontier path leaves the block uncompacted: its
+            # scatter gathers index only live rows' CSR runs, so stale
+            # rows cost nothing per round, while a rebuild costs a full
+            # re-stack (bulk rounds, which do pay for stale rows in
+            # their block matvec, happen before anything retires).
+            nonlocal pos
+            if (
+                pos is not None
+                and frontier is None
+                and 0 < live.size < self._COMPACT_THRESHOLD * self._block_size
+            ):
+                self._rebuild_block(live)
+                pos = np.arange(live.size)
+
+        retire(live[covered], black[covered])
+        if covered.any():
+            drop(~covered)
+            maybe_compact()
 
         while live.size:
             executed = self._rounds[live] - start_rounds[live]
@@ -391,41 +712,83 @@ class _BatchedMISEngine:
                         rounds_executed=int(max_rounds),
                         mis=None,
                     )
-                live, black, counts = (
-                    live[in_budget],
-                    black[in_budget],
-                    counts[in_budget],
-                )
-                if pos is not None:
-                    pos = pos[in_budget]
+                drop(in_budget)
                 if not live.size:
                     break
 
             # One synchronous round; the cached `black`/`counts` are the
             # mask and black-neighbour counts of the current configuration.
-            self._advance_rows(live, pos, black, counts)
-            self._rounds[live] += 1
+            if frontier is not None:
+                if self._pair_round_ready(black.size):
+                    # Tail regime: advance on the flat active pairs
+                    # (`black` is updated in place, no re-gather).
+                    delta = self._advance_rows_pairs(live, black, counts)
+                    self._rounds[live] += 1
+                    touched = frontier.advance(black, delta, pos)
+                    counts = frontier.has
+                    self._sync_act_pairs(black, counts, delta, touched)
+                elif self.engine == "auto" and (
+                    self._changed_count is None
+                    or self._changed_count * BULK_ADVANCE_FRACTION
+                    > black.size
+                ):
+                    # Bulk regime: a large fraction of all pairs moved
+                    # last round — recompute the counts with one
+                    # reduction per indicator instead of extracting
+                    # and scattering the changed pairs.
+                    self._advance_rows(live, pos, black, counts)
+                    self._rounds[live] += 1
+                    black = self._last_new_black
+                    frontier.full_round(
+                        black, pos, aux_mask=self._aux_rows(live)
+                    )
+                    counts = frontier.has
+                    self._seed_act_mask(black, counts)
+                else:
+                    self._collect_delta = True
+                    try:
+                        delta = self._advance_rows(live, pos, black, counts)
+                    finally:
+                        self._collect_delta = False
+                    black = self._last_new_black
+                    self._rounds[live] += 1
+                    touched = frontier.advance(black, delta, pos)
+                    counts = frontier.has
+                    self._sync_act_pairs(black, counts, delta, touched)
+                covered = frontier.unstable == 0
+            else:
+                self._advance_rows(live, pos, black, counts)
+                self._rounds[live] += 1
+                black = self._black_rows(live)
+                counts = self._count_nbrs(black, pos)
+                covered = self._covered_rows(black, counts, pos)
 
-            black = self._black_rows(live)
-            counts = self._count_nbrs(black, pos)
-            covered = self._covered_rows(black, counts, pos)
-            retire(live[covered])
-            keep = ~covered
-            live, black, counts = live[keep], black[keep], counts[keep]
-            if pos is not None:
-                pos = pos[keep]
-                if 0 < live.size < self._COMPACT_THRESHOLD * self._block_size:
-                    self._rebuild_block(live)
-                    pos = np.arange(live.size)
+            if covered.any():
+                retire(live[covered], black[covered])
+                drop(~covered)
+                maybe_compact()
 
+        self._frontier_state = None
+        self._reset_frontier_scratch()
         self._writeback()
         return results
 
     def _phi_rows(self, live: np.ndarray) -> np.ndarray:
-        """One ``bits(n)`` draw per live replica, in replica order."""
-        phi = np.empty((live.size, self.n), dtype=bool)
+        """One ``bits(n)`` draw per live replica, in replica order.
+
+        The returned matrix is a view into a per-engine buffer reused
+        across rounds (φ_t is consumed within its round everywhere);
+        each draw lands in its row via :meth:`CoinSource.bits_into`,
+        skipping two allocations per replica per round.
+        """
+        if self._phi_buf is None or self._phi_buf.shape[0] < live.size:
+            self._phi_buf = np.empty((live.size, self.n), dtype=bool)
+            self._phi_scratch = np.empty(self.n)
+        phi = self._phi_buf[: live.size]
+        scratch = self._phi_scratch
+        processes = self.processes
         for i, r in enumerate(live):
-            phi[i] = self.processes[r].coins.bits(self.n)
+            processes[r].coins.bits_into(phi[i], scratch)
         return phi
 
     def _writeback(self) -> None:
@@ -441,8 +804,51 @@ class _BatchedMISEngine:
         )
 
 
+class _BlackStateEngine(_BatchedMISEngine):
+    """Shared machinery for engines whose full state is one black mask
+    (the plain and scheduled 2-state engines): the ``_black`` matrix
+    adoption/write-back and the frontier round epilogue."""
+
+    def _black_rows(self, rows: np.ndarray) -> np.ndarray:
+        return self._black[rows]
+
+    def _finish_black_advance(self, live, black, new_black):
+        """Deferred-write epilogue of one black-mask round.
+
+        Full mode writes the global matrix; frontier mode stashes the
+        live matrix, records the bulk-round signal, and (when the loop
+        asked for it) extracts the changed pairs.  Returns
+        ``(delta_or_None, changed_mask_or_None)``.
+        """
+        if self._frontier_state is None:
+            self._black[live] = new_black
+            return None, None
+        self._last_new_black = new_black
+        changed_mask = new_black != black
+        self._changed_count = int(np.count_nonzero(changed_mask))
+        if not self._collect_delta:
+            return None, changed_mask
+        rows, verts = np.nonzero(changed_mask)
+        vals = new_black[rows, verts]
+        return (
+            RoundDelta(rows[vals], verts[vals], rows[~vals], verts[~vals]),
+            changed_mask,
+        )
+
+    def _on_drop(self, live, keep, black) -> None:
+        if self._frontier_state is not None:
+            out = ~keep
+            if out.any():
+                self._black[live[out]] = black[out]
+        super()._on_drop(live, keep, black)
+
+    def _writeback_states(self) -> None:
+        for r, process in enumerate(self.processes):
+            process.black = self._black[r].copy()
+
+
 @register_engine
-class BatchedTwoStateMIS(_BatchedMISEngine):
+class BatchedTwoStateMIS(_BlackStateEngine):
     """``R`` independent 2-state MIS replicas advanced in lockstep.
 
     Parameters
@@ -465,33 +871,119 @@ class BatchedTwoStateMIS(_BatchedMISEngine):
     """
 
     process_type = TwoStateMIS
+    supports_frontier = True
 
     def _gather(self) -> None:
         self._black = np.stack([p.black for p in self.processes])
         self._eager = np.array(
             [p.eager_white_promotion for p in self.processes], dtype=bool
         )
+        #: Pair rounds assume the plain activity rule; any eager
+        #: (footnote-1 ablation) replica in the batch vetoes them.
+        self._pair_capable = not bool(self._eager.any())
 
-    def _black_rows(self, rows: np.ndarray) -> np.ndarray:
-        return self._black[rows]
+    def _seed_act_mask(self, black, has) -> None:
+        self._act_pairs = None
+        if self._pair_capable:
+            self._act_mask = black == has  # elementwise XNOR
+        else:
+            self._act_mask = None
 
-    def _advance_rows(self, live, pos, black, counts) -> None:
-        has_black_nbr = counts > 0
-        active = np.where(black, has_black_nbr, ~has_black_nbr)
+    def _advance_rows(self, live, pos, black, counts):
+        # A_t = (black & has) | (~black & ~has), i.e. elementwise XNOR
+        # (`counts` is the materialized boolean hint in frontier mode).
+        has = counts if counts.dtype == np.bool_ else counts > 0
+        active = black == has
         phi = self._phi_rows(live)
         eager = self._eager[live]
-        if eager.any():
+        any_eager = bool(eager.any())
+        if any_eager:
             # Ablation replicas: active white vertices promote with
             # probability 1 (their coin is drawn but ignored).
             promote = active & ~black & eager[:, None]
-            self._black[live] = np.where(active, phi, black) | promote
+            new_black = np.where(active, phi, black) | promote
         else:
-            self._black[live] = np.where(active, phi, black)
+            new_black = np.where(active, phi, black)
+        delta, changed_mask = self._finish_black_advance(
+            live, black, new_black
+        )
+        if delta is not None:
+            # Seed the activity mask for the pair regime; eager
+            # replicas veto it (their activity rule differs).
+            self._act_pairs = None
+            if self._pair_capable:
+                self._act_mask = active & ~changed_mask
+            else:
+                self._act_mask = None
+        return delta
 
-    def _writeback_states(self) -> None:
-        for r, process in enumerate(self.processes):
-            process.black = self._black[r].copy()
+    def _advance_rows_pairs(self, live, black, counts) -> RoundDelta:
+        """One round touching only A_t and the changed pairs.
 
+        Trajectory-identical to the mask path: φ_t is still one full
+        ``bits(n)`` draw per replica (§2.1's coin discipline), but it
+        is only read at the active pairs, and every update is
+        index-based — the batched analogue of the serial
+        ``TwoStateMIS._advance_on_active_idx``.
+        """
+        n = np.int64(self.n)
+        if self._act_pairs is not None:
+            act = self._act_pairs
+        else:
+            act = np.flatnonzero(self._act_mask.reshape(-1))
+        phi = self._phi_rows(live)
+        black_flat = black.reshape(-1)
+        flips = phi.reshape(-1)[act] ^ black_flat[act]
+        changed = act[flips]
+        rows = changed // n
+        verts = changed - rows * n
+        new_vals = ~black_flat[changed]
+        black_flat[changed] = new_vals
+        if self._act_pairs is not None:
+            self._act_pairs = act[~flips]
+        self._changed_count = int(changed.size)
+        return RoundDelta(
+            rows[new_vals], verts[new_vals], rows[~new_vals], verts[~new_vals]
+        )
+
+    def _sync_act_pairs(self, black, counts, delta, touched) -> None:
+        if touched is None:
+            self._act_mask = None
+            self._act_pairs = None
+            return
+        n = np.int64(self.n)
+        candidates = np.concatenate(
+            (
+                delta.up_rows * n + delta.up_verts,
+                delta.down_rows * n + delta.down_verts,
+                touched,
+            )
+        )
+        # A_t flips only where blackness or has_black changed, so the
+        # update touches the candidate pairs only (`counts` is the
+        # boolean has-black hint here).
+        act_at = (
+            black.reshape(-1)[candidates]
+            == counts.reshape(-1)[candidates]
+        )
+        if self._act_pairs is not None:
+            idx = self._act_pairs
+            deactivated = candidates[~act_at]
+            activated = candidates[act_at]
+            if deactivated.size:
+                idx = np.setdiff1d(idx, deactivated)
+            if activated.size:
+                idx = np.union1d(idx, activated)
+            if idx.size * PAIR_INDEX_FRACTION >= black.size:
+                # Index regime left: widen back to the boolean mask.
+                mask = np.zeros(black.size, dtype=bool)
+                mask[idx] = True
+                self._act_mask = mask.reshape(black.shape)
+                self._act_pairs = None
+            else:
+                self._act_pairs = idx
+        elif self._act_mask is not None:
+            self._act_mask.reshape(-1)[candidates] = act_at
 
 @register_engine
 class BatchedThreeStateMIS(_BatchedMISEngine):
@@ -505,20 +997,49 @@ class BatchedThreeStateMIS(_BatchedMISEngine):
     """
 
     process_type = ThreeStateMIS
+    supports_frontier = True
+    track_aux_counts = True
 
     def _gather(self) -> None:
         self._states = np.stack([p.states for p in self.processes])
+        #: Live states matrix while a frontier run defers global writes.
+        self._live_states: np.ndarray | None = None
+
+    def _reset_frontier_scratch(self) -> None:
+        super()._reset_frontier_scratch()
+        self._live_states = None
 
     def _black_rows(self, rows: np.ndarray) -> np.ndarray:
         return self._states[rows] != WHITE
 
-    def _advance_rows(self, live, pos, black, counts) -> None:
-        states = self._states[live]
+    def _aux_rows(self, rows: np.ndarray) -> np.ndarray:
+        if self._live_states is not None:
+            return self._live_states == BLACK1
+        return self._states[rows] == BLACK1
+
+    def _on_drop(self, live, keep, black) -> None:
+        if self._live_states is not None:
+            out = ~keep
+            if out.any():
+                self._states[live[out]] = self._live_states[out]
+            self._live_states = self._live_states[keep]
+        super()._on_drop(live, keep, black)
+
+    def _advance_rows(self, live, pos, black, counts):
+        if self._live_states is not None:
+            states = self._live_states
+        else:
+            states = self._states[live]
         is_black1 = states == BLACK1
         is_black0 = states == BLACK0
         is_white = states == WHITE
-        has_black1_nbr = self._exists_nbrs(is_black1, pos)
-        has_black_nbr = counts > 0
+        if self._frontier_state is not None:
+            has_black1_nbr = self._frontier_state.aux_has
+        else:
+            has_black1_nbr = self._exists_nbrs(is_black1, pos)
+        has_black_nbr = (
+            counts if counts.dtype == np.bool_ else counts > 0
+        )
         randomize = (
             is_black1
             | (is_black0 & ~has_black1_nbr)
@@ -530,7 +1051,38 @@ class BatchedThreeStateMIS(_BatchedMISEngine):
         new_states[randomize & phi] = BLACK1
         new_states[randomize & ~phi] = BLACK0
         new_states[demote] = WHITE
-        self._states[live] = new_states
+        if self._frontier_state is None:
+            self._states[live] = new_states
+            return None
+        # Frontier mode: defer the global-matrix write to retirement.
+        self._live_states = new_states
+        self._last_new_black = new_states != WHITE
+        changed_mask = new_states != states
+        self._changed_count = int(np.count_nonzero(changed_mask))
+        if not self._collect_delta:
+            return None
+        rows, verts = np.nonzero(changed_mask)
+        old = states[rows, verts]
+        new = new_states[rows, verts]
+        old_black = old != WHITE
+        new_black = new != WHITE
+        old_b1 = old == BLACK1
+        new_b1 = new == BLACK1
+        up = new_black & ~old_black
+        down = old_black & ~new_black
+        aux_up = new_b1 & ~old_b1
+        aux_down = old_b1 & ~new_b1
+        return RoundDelta(
+            rows[up],
+            verts[up],
+            rows[down],
+            verts[down],
+            aux_up_rows=rows[aux_up],
+            aux_up_verts=verts[aux_up],
+            aux_down_rows=rows[aux_down],
+            aux_down_verts=verts[aux_down],
+            aux_mask=new_states == BLACK1,
+        )
 
     def _writeback_states(self) -> None:
         for r, process in enumerate(self.processes):
@@ -622,7 +1174,7 @@ class BatchedThreeColorMIS(_BatchedMISEngine):
 
 
 @register_engine
-class BatchedScheduledTwoStateMIS(_BatchedMISEngine):
+class BatchedScheduledTwoStateMIS(_BlackStateEngine):
     """``R`` independent scheduled 2-state replicas advanced in lockstep.
 
     Supports the coin-free :class:`~repro.core.schedulers.SynchronousScheduler`
@@ -634,6 +1186,7 @@ class BatchedScheduledTwoStateMIS(_BatchedMISEngine):
     """
 
     process_type = ScheduledTwoStateMIS
+    supports_frontier = True
 
     @classmethod
     def accepts(cls, process: object) -> bool:
@@ -654,23 +1207,17 @@ class BatchedScheduledTwoStateMIS(_BatchedMISEngine):
             dtype=np.float64,
         )
 
-    def _black_rows(self, rows: np.ndarray) -> np.ndarray:
-        return self._black[rows]
-
-    def _advance_rows(self, live, pos, black, counts) -> None:
+    def _advance_rows(self, live, pos, black, counts):
         selected = np.ones((live.size, self.n), dtype=bool)
         for i, r in enumerate(live):
             q = self._q[r]
             if not np.isnan(q):
                 selected[i] = self.processes[r].coins.bernoulli(self.n, q)
-        has_black_nbr = counts > 0
-        rule_enabled = np.where(black, has_black_nbr, ~has_black_nbr)
+        has = counts if counts.dtype == np.bool_ else counts > 0
+        rule_enabled = black == has  # elementwise XNOR
         active = rule_enabled & selected
         phi = self._phi_rows(live)
         new_black = black.copy()
         new_black[active] = phi[active]
-        self._black[live] = new_black
-
-    def _writeback_states(self) -> None:
-        for r, process in enumerate(self.processes):
-            process.black = self._black[r].copy()
+        delta, _ = self._finish_black_advance(live, black, new_black)
+        return delta

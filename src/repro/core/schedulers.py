@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.frontier import FrontierAggregates, resolve_engine
 from repro.core.process import MISProcess
 from repro.core.two_state import resolve_two_state_init
 from repro.core.states import validate_two_state
@@ -116,6 +117,13 @@ class ScheduledTwoStateMIS(MISProcess):
     With :class:`SynchronousScheduler` this is exactly
     :class:`~repro.core.two_state.TwoStateMIS` (tested).  Coin order per
     round: the scheduler's draws (if any) first, then the φ_t array.
+
+    ``engine`` selects the aggregate engine (see
+    :mod:`repro.core.frontier`): under a daemon the black mask changes
+    only at the activated subset of the rule-enabled vertices, so the
+    frontier path's scatter updates shrink with the daemon's
+    activation rate as well as with the frontier.  Trajectories are
+    bitwise-identical across engines per seed.
     """
 
     name = "2-state (scheduled)"
@@ -128,27 +136,55 @@ class ScheduledTwoStateMIS(MISProcess):
         coins: CoinSource | int | np.random.Generator | None = None,
         init: np.ndarray | str | None = None,
         backend: str = "auto",
+        engine: str = "auto",
     ) -> None:
         super().__init__(graph, coins, backend)
         self.scheduler = (
             scheduler if scheduler is not None else SynchronousScheduler()
         )
         self.black = resolve_two_state_init(init, self.n, self.coins)
+        self.engine = resolve_engine(engine)
 
     def _state_token(self) -> object:
         return self.black
 
+    def _frontier_aggregates(self) -> FrontierAggregates | None:
+        if self.engine == "full":
+            return None
+        frontier = self._frontier
+        if frontier is None:
+            frontier = self._frontier = FrontierAggregates(
+                self.graph, self.ops, adaptive=(self.engine == "auto")
+            )
+        if frontier.token is not self.black:
+            frontier.rebuild(self.black, token=self.black)
+        return frontier
+
+    def _has_black_neighbor(self) -> np.ndarray:
+        """``exists(B_t)`` via the engine-appropriate path (no mutation)."""
+        frontier = self._frontier_aggregates()
+        if frontier is not None:
+            return frontier.has_black
+        return self._aggregate(
+            "exists_black", lambda: self.ops.exists(self.black)
+        )
+
     def _advance(self) -> None:
         selected = self.scheduler.select(self)
         black = self.black
-        has_black_nbr = self._aggregate(
-            "exists_black", lambda: self.ops.exists(black)
-        )
-        rule_enabled = black == has_black_nbr  # elementwise XNOR
+        rule_enabled = black == self._has_black_neighbor()  # XNOR
         active = rule_enabled & selected
         phi = self.coins.bits(self.n)
-        new_black = black.copy()
-        new_black[active] = phi[active]
+        # Active vertices adopt phi; equivalently, flip exactly the
+        # active vertices whose coin differs from their state.
+        changed_mask = active & (phi ^ black)
+        new_black = black ^ changed_mask
+        frontier = self._frontier_aggregates()
+        if frontier is not None:
+            changed = np.flatnonzero(changed_mask)
+            up = changed[new_black[changed]]
+            down = changed[~new_black[changed]]
+            frontier.advance(new_black, up, down, token=new_black)
         self.black = new_black
 
     def black_mask(self) -> np.ndarray:
@@ -156,10 +192,7 @@ class ScheduledTwoStateMIS(MISProcess):
 
     def active_mask(self) -> np.ndarray:
         """Rule-enabled vertices (scheduler-independent activity)."""
-        has_black_nbr = self._aggregate(
-            "exists_black", lambda: self.ops.exists(self.black)
-        )
-        return self.black == has_black_nbr  # elementwise XNOR
+        return self.black == self._has_black_neighbor()  # XNOR
 
     def state_vector(self) -> np.ndarray:
         return self.black.copy()

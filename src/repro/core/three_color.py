@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.frontier import resolve_engine
 from repro.core.process import MISProcess
 from repro.core.states import BLACK, GRAY, WHITE, validate_three_color
 from repro.core.switch import (
@@ -91,6 +92,13 @@ class ThreeColorMIS(MISProcess):
     a:
         Switch parameter when ``switch`` is ``None`` (Definition 28 uses
         a = 512, giving ζ = 4/a = 2^-7 and 18 states total).
+    engine:
+        Accepted for interface uniformity with the 2-/3-state
+        processes and the batched entry points (validated and stored),
+        but the 3-color process always runs the memoized full path:
+        its switch levels diffuse a ``max`` over *every* closed
+        neighbourhood each round, so there is no small changed set for
+        an incremental engine to exploit.
     """
 
     name = "3-color"
@@ -104,6 +112,7 @@ class ThreeColorMIS(MISProcess):
         switch: SwitchProcess | None = None,
         a: float = DEFAULT_A,
         backend: str = "auto",
+        engine: str = "auto",
     ) -> None:
         super().__init__(graph, coins, backend)
         self.colors = resolve_three_color_init(init, self.n, self.coins)
@@ -113,6 +122,7 @@ class ThreeColorMIS(MISProcess):
             )
         self.switch = switch
         self.a = a
+        self.engine = resolve_engine(engine)
 
     # ------------------------------------------------------------------
     def _state_token(self) -> object:

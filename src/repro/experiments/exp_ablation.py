@@ -1,4 +1,4 @@
-"""E18 — design-choice ablations (DESIGN.md §5 table).
+"""E18 — design-choice ablations (DESIGN.md §6 table).
 
 Three ablations on the 2-state process:
 
@@ -16,13 +16,18 @@ Three ablations on the 2-state process:
    bitset (popcount), sparse (CSR) and pure-python backends on a dense and a sparse
    workload, justifying the ``make_neighbor_ops`` auto heuristic.
 
-3. **Aggregate engine (ISSUE 4).**  Wall time of a trajectory-recorded
-   ``run_until_stable`` on a sparse G(n, 3/n) under
-   ``engine="full"`` / ``"frontier"`` / ``"auto"`` (see
-   :mod:`repro.core.frontier`).  The verdict asserts the engines'
-   trajectories are identical per seed (same stabilization round, same
-   MIS, same aggregate curves); the wall-time columns report the
-   incremental engine's payoff, which grows with n.
+3. **Execution path (ISSUE 4/5).**  A small Monte-Carlo fleet on a
+   sparse G(n, 3/n) run through all four execution paths —
+   serial-full, serial-frontier (:mod:`repro.core.frontier`),
+   batched-full and batched-frontier
+   (:mod:`repro.core.batched_frontier`) — with a trajectory-identity
+   verdict: every path must report the same per-seed stabilization
+   round and MIS (and the two serial paths the same aggregate
+   curves).  The wall-time column reports each path's cost; the
+   incremental engines' payoff grows with n and with the fleet's
+   tail (see ``benchmarks/bench_frontier.py`` and
+   ``benchmarks/bench_batched_frontier.py`` for the asserted
+   full-size numbers).
 """
 
 from __future__ import annotations
@@ -143,52 +148,90 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
         rows2[1][3] >= 0.5 * rows2[1][1]
     )
 
-    # --- Ablation 3: aggregate engine (full vs frontier vs auto) ---
-    from repro.sim.runner import run_until_stable
+    # --- Ablation 3: execution path (serial/batched x full/frontier) ---
+    from repro.sim.rng import spawn_seeds
+    from repro.sim.runner import run_many_until_stable, run_until_stable
 
     n_engine = 8 * n
+    replicas = 8 if fast else 16
     engine_graph = gnp_random_graph(n_engine, 3.0 / n_engine, rng=seed + 9)
+    replica_seeds = spawn_seeds(seed + 13, replicas)
+    budget = 500 * int(math.log2(n_engine)) ** 2
+
+    def fleet(engine="auto"):
+        return [
+            TwoStateMIS(engine_graph, coins=s, engine=engine)
+            for s in replica_seeds
+        ]
+
+    path_results = {}
+    path_traces = {}
     rows3 = []
-    engine_runs = {}
-    for engine in ("full", "frontier", "auto"):
-        proc = TwoStateMIS(engine_graph, coins=seed + 13, engine=engine)
+    for path in (
+        "serial-full",
+        "serial-frontier",
+        "batched-full",
+        "batched-frontier",
+    ):
+        # The "-frontier" rows force engine="frontier" (always scatter)
+        # so the row exercises exactly the path its label names; the
+        # adaptive "auto" blend is pinned to these by the equivalence
+        # suites (tests/test_frontier.py, tests/test_batched_frontier.py).
+        serial, engine = path.split("-")
         start = time.perf_counter()
-        result = run_until_stable(
-            proc,
-            max_rounds=500 * int(math.log2(n_engine)) ** 2,
-            record_trace=True,
-        )
+        if serial == "serial":
+            processes = fleet(engine)
+            results = [
+                run_until_stable(p, max_rounds=budget, record_trace=True)
+                for p in processes
+            ]
+            path_traces[path] = [r.trace.as_arrays() for r in results]
+        else:
+            processes = fleet()
+            results = run_many_until_stable(
+                processes,
+                max_rounds=budget,
+                batch=replicas,
+                engine=engine,
+            )
         elapsed = time.perf_counter() - start
-        engine_runs[engine] = result
+        path_results[path] = results
+        total_rounds = sum(r.rounds_executed for r in results)
         rows3.append(
             [
-                engine,
-                result.stabilization_round,
+                path,
+                float(np.mean([r.stabilization_round for r in results])),
                 f"{elapsed * 1e3:.1f}ms",
-                result.rounds_executed / max(elapsed, 1e-9),
+                total_rounds / max(elapsed, 1e-9),
             ]
         )
     table3 = format_table(
-        ["engine", "stab. round", "wall time", "rounds/s"],
+        ["execution path", "mean stab. round", "wall time",
+         "replica-rounds/s"],
         rows3,
         title=(
-            f"Aggregate-engine ablation: trajectory-recorded run on "
+            f"Execution-path ablation: {replicas} replicas on "
             f"G({n_engine}, 3/n)"
         ),
     )
-    reference = engine_runs["full"]
-    ref_curves = reference.trace.as_arrays()
-    verdicts["engines agree on the stabilization round"] = all(
-        run.stabilization_round == reference.stabilization_round
-        for run in engine_runs.values()
+    reference = path_results["serial-full"]
+    verdicts["execution paths agree on every stabilization round"] = all(
+        [r.stabilization_round for r in results]
+        == [r.stabilization_round for r in reference]
+        for results in path_results.values()
     )
-    verdicts["engines agree on the MIS and trajectory"] = all(
-        np.array_equal(run.mis, reference.mis)
-        and all(
-            np.array_equal(run.trace.as_arrays()[key], curve)
-            for key, curve in ref_curves.items()
+    verdicts["execution paths agree on every MIS"] = all(
+        all(
+            np.array_equal(a.mis, b.mis)
+            for a, b in zip(results, reference)
         )
-        for run in engine_runs.values()
+        for results in path_results.values()
+    )
+    ref_traces = path_traces["serial-full"]
+    verdicts["serial engines agree on every trajectory"] = all(
+        np.array_equal(curves[key], ref[key])
+        for curves, ref in zip(path_traces["serial-frontier"], ref_traces)
+        for key in ref
     )
 
     return ExperimentResult(

@@ -128,6 +128,7 @@ def estimate_stabilization_time(
     max_rounds: int,
     seed: int | None = 0,
     batch: str | int | None = "auto",
+    engine: str = "auto",
 ) -> TrialStats:
     """Run independent trials and collect stabilization times.
 
@@ -158,12 +159,22 @@ def estimate_stabilization_time(
         are detected from the first trial and routed to the serial loop
         without up-front chunk construction; batchable families (see
         :mod:`repro.core.batched`) ride their engine automatically.
+    engine:
+        Aggregate engine for the batched chunks
+        (``"auto"``/``"frontier"``/``"full"``, see
+        :mod:`repro.core.batched_frontier`) — ``"auto"`` (default)
+        maintains incremental per-replica neighbour counts and falls
+        back to full reductions on bulky rounds.  Statistics are
+        identical across engines; serial-path trials use the
+        process's own ``engine`` setting.
     """
     from repro.core.batched import batchable
+    from repro.core.frontier import resolve_engine
 
     if trials < 1:
         raise ValueError("trials must be >= 1")
     validate_batch(batch)
+    resolve_engine(engine)
     seeds = spawn_seeds(seed, trials)
     times = []
     failures = 0
@@ -199,7 +210,10 @@ def estimate_stabilization_time(
                 processes = [process_factory(s) for s in chunk_seeds]
             record(
                 run_many_until_stable(
-                    processes, max_rounds=max_rounds, batch=batch
+                    processes,
+                    max_rounds=max_rounds,
+                    batch=batch,
+                    engine=engine,
                 )
             )
     return TrialStats(
@@ -262,13 +276,14 @@ class SweepResult(Mapping):
 
 def _sweep_point(payload: tuple) -> TrialStats:
     """Evaluate one grid point (module-level so process pools can pickle it)."""
-    make_factory, point, trials, budget, point_seed, batch = payload
+    make_factory, point, trials, budget, point_seed, batch, engine = payload
     return estimate_stabilization_time(
         make_factory(point),
         trials=trials,
         max_rounds=budget,
         seed=point_seed,
         batch=batch,
+        engine=engine,
     )
 
 
@@ -279,6 +294,7 @@ def sweep_stabilization_times(
     max_rounds: int | Callable[[object], int],
     seed: int | None = 0,
     batch: str | int | None = "auto",
+    engine: str = "auto",
     n_jobs: int | None = None,
 ) -> SweepResult:
     """Estimate stabilization times over a parameter grid.
@@ -301,6 +317,9 @@ def sweep_stabilization_times(
     batch:
         Per-point trial execution strategy (see
         :func:`estimate_stabilization_time`).
+    engine:
+        Aggregate engine for the batched chunks at every grid point
+        (see :func:`estimate_stabilization_time`).
     n_jobs:
         Opt-in process-pool width across *grid points*.  ``None`` or
         ``1`` evaluates points in-process; ``>= 2`` fans points out to a
@@ -320,7 +339,7 @@ def sweep_stabilization_times(
     for point, point_seed in zip(grid, point_seeds):
         budget = max_rounds(point) if callable(max_rounds) else max_rounds
         payloads.append(
-            (make_factory, point, trials, budget, point_seed, batch)
+            (make_factory, point, trials, budget, point_seed, batch, engine)
         )
     use_pool = n_jobs is not None and n_jobs >= 2
     if use_pool:

@@ -30,6 +30,19 @@ class CoinSource:
         """
         raise NotImplementedError
 
+    def bits_into(
+        self, out: np.ndarray, scratch: np.ndarray | None = None
+    ) -> np.ndarray:
+        """:meth:`bits` written into a caller-provided boolean row.
+
+        Consumes exactly the same draws as ``bits(len(out))`` — a pure
+        allocation optimization for hot loops that drain many sources
+        per round (the batched engines' φ_t assembly).  ``scratch`` may
+        be a reusable float64 buffer of the same length.
+        """
+        out[...] = self.bits(out.shape[0])
+        return out
+
     def bernoulli(self, n: int, prob: float) -> np.ndarray:
         """``n`` independent Bernoulli(prob) draws as a boolean array."""
         raise NotImplementedError
@@ -53,6 +66,22 @@ class SeededCoins(CoinSource):
 
     def bits(self, n: int) -> np.ndarray:
         return self._rng.random(n) < 0.5
+
+    def bits_into(
+        self, out: np.ndarray, scratch: np.ndarray | None = None
+    ) -> np.ndarray:
+        if type(self) is not SeededCoins:
+            # A subclass may have overridden bits(); route through it
+            # so its semantics (counting, scripting, ...) are kept.
+            return super().bits_into(out, scratch)
+        n = out.shape[0]
+        if scratch is None or scratch.shape[0] != n:
+            scratch = np.empty(n)
+        # Identical stream to bits(): Generator.random(out=...) draws
+        # the same doubles as Generator.random(n).
+        self._rng.random(out=scratch)
+        np.less(scratch, 0.5, out=out)
+        return out
 
     def bernoulli(self, n: int, prob: float) -> np.ndarray:
         if not 0.0 <= prob <= 1.0:

@@ -155,6 +155,7 @@ def run_many_until_stable(
     max_rounds: int = 1_000_000,
     verify: bool = True,
     batch: str | int | None = "auto",
+    engine: str = "auto",
 ) -> list[RunResult]:
     """Run many independent processes to stabilization, batching when possible.
 
@@ -177,6 +178,15 @@ def run_many_until_stable(
         ``"auto"`` (group batchable processes in chunks of
         :data:`AUTO_BATCH_CHUNK`, bounding peak memory), an ``int`` cap
         on replicas per batch, or ``None`` (serial loop for everything).
+    engine:
+        Aggregate engine for the *batched* groups (see
+        :mod:`repro.core.batched_frontier`): ``"full"`` recomputes the
+        ``(R, n)`` neighbour reductions every round, ``"frontier"``
+        scatter-updates persistent per-replica counts along only the
+        changed pairs' edges, and ``"auto"`` (default) decides per
+        replica per round at the volume crossover.  A pure performance
+        knob — results are bitwise-identical.  Processes on the serial
+        fallback use their own ``engine`` setting.
 
     Returns
     -------
@@ -184,9 +194,11 @@ def run_many_until_stable(
     :func:`run_until_stable` directly to record trajectories).
     """
     from repro.core.batched import engine_for
+    from repro.core.frontier import resolve_engine
 
     processes = list(processes)
     validate_batch(batch)
+    resolve_engine(engine)
     results: list[RunResult | None] = [None] * len(processes)
 
     groups: dict[tuple[type, int], list[int]] = {}
@@ -204,8 +216,10 @@ def run_many_until_stable(
             chunk = indices[lo:lo + cap]
             if len(chunk) == 1:
                 continue
-            engine = engine_cls([processes[i] for i in chunk])
-            for i, result in zip(chunk, engine.run(max_rounds, verify=verify)):
+            runner = engine_cls(
+                [processes[i] for i in chunk], engine=engine
+            )
+            for i, result in zip(chunk, runner.run(max_rounds, verify=verify)):
                 results[i] = result
             batched_indices.update(chunk)
 

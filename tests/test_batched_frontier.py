@@ -1,0 +1,516 @@
+"""Batched-frontier equivalence and bookkeeping guarantees.
+
+The batched frontier engine (:mod:`repro.core.batched_frontier`, wired
+as ``engine="auto" | "frontier" | "full"`` on the batched engine
+family) must be a pure performance transformation: for every seed and
+every replica, the batched ``frontier``/``auto`` paths must produce
+results *bitwise-identical* to the batched ``full`` path and to
+running each replica serially through
+:func:`repro.sim.runner.run_until_stable` — across shared and
+per-trial resampled (block-diagonal) graphs, mid-run retirement,
+budget exhaustion, corrupted starts, and engine reuse over fault
+waves.  This suite pins that, plus the flat-scatter primitives and the
+O(1)-retirement reduction-count contract.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batched import (
+    BatchedScheduledTwoStateMIS,
+    BatchedThreeStateMIS,
+    BatchedTwoStateMIS,
+)
+from repro.core.batched_frontier import (
+    BatchedFrontierAggregates,
+    RoundDelta,
+    apply_flat_delta,
+)
+from repro.core.frontier import ENGINES
+from repro.core.schedulers import IndependentScheduler, ScheduledTwoStateMIS
+from repro.core.three_state import ThreeStateMIS
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.graph import Graph
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.sim.montecarlo import estimate_stabilization_time
+from repro.sim.rng import SeededCoins, spawn_seeds
+from repro.sim.runner import run_many_until_stable, run_until_stable
+
+MAX_ROUNDS = 50_000
+
+#: Engine classes driven through the generic equivalence helper.
+FAMILIES = {
+    "two_state": (
+        BatchedTwoStateMIS,
+        lambda graph, seed: TwoStateMIS(graph, coins=seed),
+    ),
+    "three_state": (
+        BatchedThreeStateMIS,
+        lambda graph, seed: ThreeStateMIS(graph, coins=seed),
+    ),
+    "scheduled": (
+        BatchedScheduledTwoStateMIS,
+        lambda graph, seed: ScheduledTwoStateMIS(
+            graph, scheduler=IndependentScheduler(0.5), coins=seed
+        ),
+    ),
+}
+
+
+class CountingCoins(SeededCoins):
+    """Seeded coins that count draw calls (stream-position probe)."""
+
+    def __init__(self, seed):
+        super().__init__(seed)
+        self.draws = 0
+
+    def bits(self, n):
+        self.draws += 1
+        return super().bits(n)
+
+    def bernoulli(self, n, prob):
+        self.draws += 1
+        return super().bernoulli(n, prob)
+
+
+def assert_same_results(reference, observed):
+    assert len(reference) == len(observed)
+    for a, b in zip(reference, observed):
+        assert a.stabilized == b.stabilized
+        assert a.stabilization_round == b.stabilization_round
+        assert a.rounds_executed == b.rounds_executed
+        if a.mis is None:
+            assert b.mis is None
+        else:
+            assert np.array_equal(a.mis, b.mis)
+
+
+def assert_engines_match_serial(
+    engine_cls,
+    build,
+    graphs,
+    seeds,
+    max_rounds=MAX_ROUNDS,
+    corrupt=None,
+):
+    """Serial runs vs every batched engine mode, bitwise.
+
+    ``build(graph, coins)`` constructs one replica; ``corrupt`` (if
+    given) is applied to every replica before running.  Checks
+    results, final state vectors and per-replica coin-stream
+    positions.
+    """
+    reference = None
+    for mode in ("serial",) + ENGINES:
+        coins = [CountingCoins(s) for s in seeds]
+        procs = [build(g, c) for g, c in zip(graphs, coins)]
+        if corrupt is not None:
+            for i, p in enumerate(procs):
+                corrupt(i, p)
+        if mode == "serial":
+            results = [
+                run_until_stable(p, max_rounds=max_rounds) for p in procs
+            ]
+        else:
+            results = engine_cls(procs, engine=mode).run(max_rounds)
+        observed = (
+            results,
+            [p.state_vector() for p in procs],
+            [p.round for p in procs],
+            [c.draws for c in coins],
+        )
+        if reference is None:
+            reference = observed
+            continue
+        assert_same_results(reference[0], observed[0])
+        for a, b in zip(reference[1], observed[1]):
+            assert np.array_equal(a, b), mode
+        assert reference[2] == observed[2], mode
+        assert reference[3] == observed[3], mode
+
+
+@st.composite
+def sparse_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=110))
+    density = draw(st.floats(min_value=0.0, max_value=0.3))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    return gnp_random_graph(n, density, rng=seed)
+
+
+class TestEngineEquivalence:
+    @given(graph=sparse_graphs(), seed=st.integers(0, 2**20))
+    @settings(max_examples=25, deadline=None)
+    def test_two_state_shared_graph(self, graph, seed):
+        engine_cls, build = FAMILIES["two_state"]
+        seeds = spawn_seeds(seed, 7)
+        assert_engines_match_serial(
+            engine_cls, build, [graph] * 7, seeds
+        )
+
+    @given(graph=sparse_graphs(), seed=st.integers(0, 2**20))
+    @settings(max_examples=15, deadline=None)
+    def test_three_state_shared_graph(self, graph, seed):
+        engine_cls, build = FAMILIES["three_state"]
+        seeds = spawn_seeds(seed, 6)
+        assert_engines_match_serial(
+            engine_cls, build, [graph] * 6, seeds
+        )
+
+    @given(graph=sparse_graphs(), seed=st.integers(0, 2**20))
+    @settings(max_examples=15, deadline=None)
+    def test_scheduled_shared_graph(self, graph, seed):
+        engine_cls, build = FAMILIES["scheduled"]
+        seeds = spawn_seeds(seed, 6)
+        assert_engines_match_serial(
+            engine_cls, build, [graph] * 6, seeds, max_rounds=200_000
+        )
+
+    @given(seed=st.integers(0, 2**20))
+    @settings(max_examples=20, deadline=None)
+    def test_two_state_resampled_graphs(self, seed):
+        # Per-trial resampled graphs ride the block-diagonal CSR path.
+        engine_cls, build = FAMILIES["two_state"]
+        seeds = spawn_seeds(seed, 8)
+        graphs = [
+            gnp_random_graph(60, 0.05, rng=s + 1) for s in seeds
+        ]
+        assert_engines_match_serial(engine_cls, build, graphs, seeds)
+
+    @given(seed=st.integers(0, 2**20))
+    @settings(max_examples=10, deadline=None)
+    def test_three_state_resampled_graphs(self, seed):
+        engine_cls, build = FAMILIES["three_state"]
+        seeds = spawn_seeds(seed, 6)
+        graphs = [
+            gnp_random_graph(50, 0.06, rng=s + 1) for s in seeds
+        ]
+        assert_engines_match_serial(engine_cls, build, graphs, seeds)
+
+    @given(
+        graph=sparse_graphs(),
+        seed=st.integers(0, 2**20),
+        frac=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_corrupted_starts(self, graph, seed, frac):
+        # Arbitrary (adversarial) initial configurations: the frontier
+        # bookkeeping must recover them identically to serial runs.
+        engine_cls, build = FAMILIES["two_state"]
+        seeds = spawn_seeds(seed, 6)
+
+        def corrupt(i, process):
+            rng = np.random.default_rng(seed + 31 * i)
+            process.corrupt(rng.random(graph.n) < frac)
+
+        assert_engines_match_serial(
+            engine_cls, build, [graph] * 6, seeds, corrupt=corrupt
+        )
+
+    @given(seed=st.integers(0, 2**20), budget=st.integers(0, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_budget_exhaustion_mixed_with_retirement(self, seed, budget):
+        # Replicas retire mid-run as they stabilize; the rest exhaust
+        # the budget — the frontier state must compact consistently
+        # through both kinds of drop.
+        from repro.graphs.generators import complete_graph
+
+        engine_cls, build = FAMILIES["two_state"]
+        graph = complete_graph(16)
+        seeds = spawn_seeds(seed, 12)
+        assert_engines_match_serial(
+            engine_cls, build, [graph] * 12, seeds, max_rounds=budget
+        )
+
+    @given(graph=sparse_graphs(), seed=st.integers(0, 2**20))
+    @settings(max_examples=10, deadline=None)
+    def test_eager_ablation_replicas_veto_pair_rounds(self, graph, seed):
+        # eager_white_promotion replicas change the activity rule; the
+        # engine must still be exact (pair rounds are vetoed).
+        engine_cls = BatchedTwoStateMIS
+        seeds = spawn_seeds(seed, 5)
+
+        def build(g, coins):
+            return TwoStateMIS(g, coins=coins, eager_white_promotion=True)
+
+        assert_engines_match_serial(
+            engine_cls, build, [graph] * 5, seeds
+        )
+
+
+class TestEngineReuse:
+    def test_fault_waves_reuse_one_engine(self):
+        # run() re-adopts process state, so one engine can serve a
+        # whole fault-injection campaign (and, on the block path, keep
+        # its block CSR across waves).
+        seeds = spawn_seeds(3, 10)
+        graphs = [gnp_random_graph(70, 0.05, rng=s + 9) for s in seeds]
+
+        def wave_runs(mode):
+            procs = [
+                TwoStateMIS(g, coins=s) for g, s in zip(graphs, seeds)
+            ]
+            outs = []
+            if mode == "serial":
+                outs.append(
+                    [run_until_stable(p, max_rounds=MAX_ROUNDS) for p in procs]
+                )
+            else:
+                engine = BatchedTwoStateMIS(procs, engine=mode)
+                outs.append(engine.run(MAX_ROUNDS))
+            for wave in range(2):
+                for i, p in enumerate(procs):
+                    rng = np.random.default_rng(1000 * wave + i)
+                    p.corrupt_vertices(
+                        rng.choice(p.n, size=4, replace=False), black=True
+                    )
+                if mode == "serial":
+                    outs.append(
+                        [
+                            run_until_stable(p, max_rounds=MAX_ROUNDS)
+                            for p in procs
+                        ]
+                    )
+                else:
+                    outs.append(engine.run(MAX_ROUNDS))
+            return outs, [p.black.copy() for p in procs]
+
+        ref_outs, ref_state = wave_runs("serial")
+        for mode in ENGINES:
+            outs, state = wave_runs(mode)
+            for a, b in zip(ref_outs, outs):
+                assert_same_results(a, b)
+            for a, b in zip(ref_state, state):
+                assert np.array_equal(a, b), mode
+
+    def test_mutations_between_construction_and_run_are_adopted(self):
+        # run() adopts the processes' *current* state: corruption (or
+        # any mutation) after the engine is constructed must not be
+        # lost.
+        graph = gnp_random_graph(80, 0.06, rng=2)
+        seeds = spawn_seeds(7, 6)
+        batch_procs = [TwoStateMIS(graph, coins=s) for s in seeds]
+        engine = BatchedTwoStateMIS(batch_procs, engine="auto")
+        serial_procs = [TwoStateMIS(graph, coins=s) for s in seeds]
+        for procs in (batch_procs, serial_procs):
+            for i, p in enumerate(procs):
+                rng = np.random.default_rng(50 + i)
+                p.corrupt(rng.random(graph.n) < 0.5)
+        serial = [
+            run_until_stable(p, max_rounds=MAX_ROUNDS)
+            for p in serial_procs
+        ]
+        assert_same_results(serial, engine.run(MAX_ROUNDS))
+        for sp, bp in zip(serial_procs, batch_procs):
+            assert np.array_equal(sp.black, bp.black)
+
+    def test_block_kept_across_waves(self):
+        seeds = spawn_seeds(5, 6)
+        graphs = [gnp_random_graph(40, 0.08, rng=s) for s in seeds]
+        procs = [TwoStateMIS(g, coins=s) for g, s in zip(graphs, seeds)]
+        engine = BatchedTwoStateMIS(procs, engine="frontier")
+        engine.run(MAX_ROUNDS)
+        block = engine._block
+        assert block is not None  # frontier mode skips compaction
+        for p in procs:
+            p.corrupt_vertices([0, 1], black=True)
+        engine.run(MAX_ROUNDS)
+        assert engine._block is block  # reused, graphs are immutable
+
+
+class TestMonteCarloEntryPoints:
+    def test_engine_kwarg_identical_stats(self):
+        def make(s):
+            rng = np.random.default_rng(s)
+            graph = gnp_random_graph(60, 0.06, rng=rng)
+            return TwoStateMIS(graph, coins=rng)
+
+        kw = dict(trials=18, max_rounds=MAX_ROUNDS, seed=11)
+        by_engine = {
+            engine: estimate_stabilization_time(make, engine=engine, **kw)
+            for engine in ENGINES
+        }
+        serial = estimate_stabilization_time(make, batch=None, **kw)
+        for engine, stats in by_engine.items():
+            assert np.array_equal(serial.times, stats.times), engine
+            assert serial.failures == stats.failures
+
+    def test_run_many_rejects_unknown_engine(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        procs = [TwoStateMIS(graph, coins=s) for s in range(3)]
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_many_until_stable(procs, engine="warp")
+        with pytest.raises(ValueError, match="unknown engine"):
+            estimate_stabilization_time(
+                lambda s: TwoStateMIS(graph, coins=s),
+                trials=2,
+                max_rounds=10,
+                engine="warp",
+            )
+        with pytest.raises(ValueError, match="unknown engine"):
+            BatchedTwoStateMIS(procs, engine="warp")
+
+    def test_sweep_engine_kwarg(self):
+        from repro.sim.montecarlo import sweep_stabilization_times
+
+        def make_factory(n):
+            def factory(s):
+                return TwoStateMIS(
+                    gnp_random_graph(n, 0.1, rng=s), coins=s
+                )
+
+            return factory
+
+        grids = {}
+        for engine in ("full", "auto"):
+            result = sweep_stabilization_times(
+                make_factory,
+                grid=[20, 30],
+                trials=6,
+                max_rounds=MAX_ROUNDS,
+                seed=2,
+                engine=engine,
+            )
+            grids[engine] = {
+                point: stats.times.tolist()
+                for point, stats in result.items()
+            }
+        assert grids["full"] == grids["auto"]
+
+
+class TestFlatScatterPrimitives:
+    def test_apply_flat_delta_matches_dense_update(self):
+        rng = np.random.default_rng(7)
+        counts = rng.integers(0, 5, size=400).astype(np.int64)
+        expected = counts.copy()
+        up = rng.integers(0, 400, size=90).astype(np.int64)
+        down = rng.integers(0, 400, size=350).astype(np.int64)
+        np.add.at(expected, up, 1)
+        np.subtract.at(expected, down, 1)
+        apply_flat_delta(counts, up, down)
+        assert np.array_equal(counts, expected)
+
+    def test_apply_flat_delta_one_sided_and_empty(self):
+        counts = np.zeros(64, dtype=np.int64)
+        apply_flat_delta(counts, np.array([3, 3, 5], dtype=np.int64), None)
+        assert counts[3] == 2 and counts[5] == 1
+        apply_flat_delta(counts, None, np.array([3], dtype=np.int64))
+        assert counts[3] == 1
+        apply_flat_delta(counts, None, None)
+        assert counts.sum() == 2
+
+    def test_flat_targets_shared_and_block_agree(self):
+        # The shared-graph and block-diagonal gathers must produce the
+        # same multiset of live-coordinate scatter targets.
+        graph = gnp_random_graph(30, 0.2, rng=1)
+        seeds = spawn_seeds(0, 4)
+        shared = BatchedTwoStateMIS(
+            [TwoStateMIS(graph, coins=s) for s in seeds]
+        )
+        # Distinct-but-equal graph objects force the block path.
+        clones = [
+            Graph(graph.n, list(zip(*graph.edge_arrays())))
+            for _ in seeds
+        ]
+        blocked = BatchedTwoStateMIS(
+            [TwoStateMIS(g, coins=s) for g, s in zip(clones, seeds)]
+        )
+        assert not blocked.shared_graph
+        blocked._rebuild_block(np.arange(4))
+        pos = np.arange(4)
+        rng = np.random.default_rng(3)
+        rows = rng.integers(0, 4, size=10).astype(np.int64)
+        verts = rng.integers(0, 30, size=10).astype(np.int64)
+        a = shared._flat_targets(rows, verts, None)
+        b = blocked._flat_targets(rows, verts, pos)
+        assert np.array_equal(np.sort(a), np.sort(b))
+
+
+class TestStabilityBookkeeping:
+    def test_removal_fallback_recomputes(self):
+        # Removals from I_t cannot arise from the dynamics, but the
+        # tracker must stay exact if driven there by hand.
+        graph = Graph(4, [(0, 1), (2, 3)])
+        procs = [TwoStateMIS(graph, coins=s) for s in range(2)]
+        engine = BatchedTwoStateMIS(procs, engine="frontier")
+        aggregates = BatchedFrontierAggregates(engine, adaptive=False)
+        black = np.array(
+            [[True, False, True, False], [True, False, True, False]]
+        )
+        aggregates.rebuild(black, None)
+        assert np.array_equal(aggregates.unstable, [0, 0])
+        new_black = black.copy()
+        new_black[0, 1] = True  # vertex 1 joins 0 in replica 0 only
+        delta = RoundDelta(
+            up_rows=np.array([0], dtype=np.int64),
+            up_verts=np.array([1], dtype=np.int64),
+            down_rows=np.empty(0, dtype=np.int64),
+            down_verts=np.empty(0, dtype=np.int64),
+        )
+        aggregates.advance(new_black, delta, None)
+        expected_stable = new_black & (
+            engine._count_nbrs(new_black, None) == 0
+        )
+        assert np.array_equal(aggregates.stable, expected_stable)
+        expected_covered = expected_stable | (
+            engine._count_nbrs(expected_stable, None) > 0
+        )
+        assert np.array_equal(aggregates.covered, expected_covered)
+        assert np.array_equal(
+            aggregates.unstable,
+            graph.n - expected_covered.sum(axis=1),
+        )
+
+    def test_recovery_needs_one_reduction_total(self):
+        # The O(1)-retirement contract: a near-stable fleet recovers
+        # on the scatter path with exactly one count reduction (the
+        # rebuild) — no per-round reductions, no final coverage pass.
+        graph = gnp_random_graph(300, 0.02, rng=4)
+        seeds = spawn_seeds(9, 8)
+
+        class CountingEngine(BatchedTwoStateMIS):
+            reductions = 0
+
+            def _count_nbrs(self, masks, pos):
+                type(self).reductions += 1
+                return super()._count_nbrs(masks, pos)
+
+        procs = [TwoStateMIS(graph, coins=s) for s in seeds]
+        engine = CountingEngine(procs, engine="frontier")
+        engine.run(MAX_ROUNDS, verify=False)
+        for i, p in enumerate(procs):
+            rng = np.random.default_rng(100 + i)
+            p.corrupt_vertices(
+                rng.choice(p.n, size=3, replace=False), black=True
+            )
+        CountingEngine.reductions = 0
+        results = engine.run(MAX_ROUNDS, verify=False)
+        assert all(r.stabilized for r in results)
+        assert CountingEngine.reductions == 1  # the rebuild, nothing else
+
+    def test_frontier_mode_never_takes_full_rounds(self):
+        from repro.core import batched_frontier as bf
+
+        calls = {"full": 0, "scatter": 0}
+        orig_full = bf.BatchedFrontierAggregates.full_round
+        orig_adv = bf.BatchedFrontierAggregates.advance
+
+        def full_round(self, *args, **kwargs):
+            calls["full"] += 1
+            return orig_full(self, *args, **kwargs)
+
+        def advance(self, *args, **kwargs):
+            calls["scatter"] += 1
+            return orig_adv(self, *args, **kwargs)
+
+        bf.BatchedFrontierAggregates.full_round = full_round
+        bf.BatchedFrontierAggregates.advance = advance
+        try:
+            graph = gnp_random_graph(120, 0.04, rng=2)
+            procs = [TwoStateMIS(graph, coins=s) for s in range(6)]
+            BatchedTwoStateMIS(procs, engine="frontier").run(MAX_ROUNDS)
+        finally:
+            bf.BatchedFrontierAggregates.full_round = orig_full
+            bf.BatchedFrontierAggregates.advance = orig_adv
+        assert calls["full"] == 0
+        assert calls["scatter"] > 0
