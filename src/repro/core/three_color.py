@@ -48,7 +48,7 @@ from repro.sim.rng import CoinSource
 def resolve_three_color_init(
     init: np.ndarray | str | None,
     n: int,
-    coins,
+    coins: CoinSource,
 ) -> np.ndarray:
     """Resolve an initial 3-color configuration.
 
@@ -58,8 +58,8 @@ def resolve_three_color_init(
     initialization; this one exercises all three states.
     """
     if init is None or (isinstance(init, str) and init == "random"):
-        b0 = coins.bits(n)
-        b1 = coins.bits(n)
+        b0 = coins.bits(n)  # repro-lint: disable=coin-purity (documented init-time draw)
+        b1 = coins.bits(n)  # repro-lint: disable=coin-purity (documented init-time draw)
         out = np.full(n, WHITE, dtype=np.int8)
         out[b0 & b1] = BLACK
         out[b0 & ~b1] = GRAY

@@ -39,7 +39,7 @@ from repro.sim.rng import CoinSource
 def resolve_three_state_init(
     init: np.ndarray | str | None,
     n: int,
-    coins,
+    coins: CoinSource,
 ) -> np.ndarray:
     """Resolve an initial 3-state configuration.
 
@@ -47,8 +47,8 @@ def resolve_three_state_init(
     the second chooses black1 vs black0 for the black vertices.
     """
     if init is None or (isinstance(init, str) and init == "random"):
-        is_black = coins.bits(n)
-        is_one = coins.bits(n)
+        is_black = coins.bits(n)  # repro-lint: disable=coin-purity (documented init-time draw)
+        is_one = coins.bits(n)  # repro-lint: disable=coin-purity (documented init-time draw)
         out = np.full(n, WHITE, dtype=np.int8)
         out[is_black & is_one] = BLACK1
         out[is_black & ~is_one] = BLACK0

@@ -21,6 +21,8 @@ round (§2.1); active vertices set their state to the coin.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 import numpy as np
 
 from repro.core.frontier import FrontierAggregates, resolve_engine
@@ -33,7 +35,7 @@ from repro.sim.rng import CoinSource
 def resolve_two_state_init(
     init: np.ndarray | str | None,
     n: int,
-    coins,
+    coins: CoinSource,
 ) -> np.ndarray:
     """Resolve an initial 2-state configuration.
 
@@ -43,7 +45,7 @@ def resolve_two_state_init(
     from the coin source (before any round coins).
     """
     if init is None or (isinstance(init, str) and init == "random"):
-        return coins.bits(n).copy()
+        return coins.bits(n).copy()  # repro-lint: disable=coin-purity (documented init-time draw)
     if isinstance(init, str):
         if init == "all_black":
             return np.ones(n, dtype=bool)
@@ -190,7 +192,7 @@ class TwoStateMIS(MISProcess):
                 self._active_idx = None
         self.black = new_black
 
-    def _advance_on_active_idx(self, frontier) -> None:
+    def _advance_on_active_idx(self, frontier: FrontierAggregates) -> None:
         """One round touching only A_t and the changed edges.
 
         Trajectory-identical to the mask path: φ_t is still a full
@@ -217,7 +219,12 @@ class TwoStateMIS(MISProcess):
             )
         self.black = new_black
 
-    def _sync_active_idx(self, new_black, frontier, candidates) -> None:
+    def _sync_active_idx(
+        self,
+        new_black: np.ndarray,
+        frontier: FrontierAggregates,
+        candidates: np.ndarray,
+    ) -> None:
         """Merge the candidates' new activity into the index set."""
         act_now = new_black[candidates] == frontier.has_black[candidates]
         activated = candidates[act_now]
@@ -249,7 +256,7 @@ class TwoStateMIS(MISProcess):
         self.black = validate_two_state(states, self.n)
         self._state_changed()
 
-    def corrupt_vertices(self, vertices, black: bool) -> None:
+    def corrupt_vertices(self, vertices: Iterable[int], black: bool) -> None:
         """Set the given vertices' colors (targeted fault injection)."""
         idx = np.asarray(list(vertices), dtype=np.int64)
         if idx.size and (idx.min() < 0 or idx.max() >= self.n):

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 
 from repro.core.two_state import TwoStateMIS
 from repro.core.three_color import ThreeColorMIS

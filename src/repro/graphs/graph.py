@@ -28,8 +28,16 @@ large random-graph generators route through.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
+
+if TYPE_CHECKING:  # scipy is a lazy import everywhere else
+    from scipy.sparse import csr_matrix
+
+#: Pickle payload: ``(n, m, indptr, indices)`` — the CSR arrays ARE the
+#: graph; every lazy view is rebuilt on demand after restore.
+_GraphState = tuple[int, int, np.ndarray, np.ndarray]
 
 _INT32_MAX = np.iinfo(np.int32).max
 
@@ -172,7 +180,7 @@ class Graph:
         if total == 0:
             empty = np.zeros(0, dtype=np.int64)
             return empty, empty
-        shifts = np.cumsum(counts) - counts
+        shifts = np.cumsum(counts, dtype=np.int64) - counts
         out_idx = np.arange(total, dtype=np.int64) + np.repeat(
             starts - shifts, counts
         )
@@ -444,7 +452,7 @@ class Graph:
         """
         p = np.asarray(perm, dtype=np.int64)
         if p.shape != (self._n,) or not np.array_equal(
-            np.sort(p), np.arange(self._n)
+            np.sort(p), np.arange(self._n, dtype=np.int64)
         ):
             raise ValueError("perm must be a permutation of range(n)")
         us, vs = self.edge_arrays()
@@ -453,7 +461,7 @@ class Graph:
     # ------------------------------------------------------------------
     # Matrix / external representations
     # ------------------------------------------------------------------
-    def adjacency_csr(self):
+    def adjacency_csr(self) -> "csr_matrix":
         """Adjacency matrix as a cached ``scipy.sparse.csr_matrix`` of int8.
 
         Wraps the native ``indptr`` / ``indices`` arrays without copying.
@@ -472,7 +480,7 @@ class Graph:
             self._csr = mat
         return self._csr
 
-    def adjacency_csr_int32(self):
+    def adjacency_csr_int32(self) -> "csr_matrix":
         """int32-data variant of :meth:`adjacency_csr` (cached).
 
         The sparse matvec backends reduce in int32; handing every
@@ -594,7 +602,7 @@ class Graph:
                     )
         return cls(len(rows), edges)
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:  # networkx ships no stubs
         """Convert to a ``networkx.Graph`` (requires networkx installed)."""
         import networkx as nx
 
@@ -604,7 +612,7 @@ class Graph:
         return g
 
     @classmethod
-    def from_networkx(cls, g) -> "Graph":
+    def from_networkx(cls, g: Any) -> "Graph":
         """Build from a ``networkx.Graph`` with integer-convertible labels."""
         nodes = sorted(g.nodes())
         mapping = {node: i for i, node in enumerate(nodes)}
@@ -639,10 +647,10 @@ class Graph:
     # ------------------------------------------------------------------
     # Pickling (drop the lazy caches; the CSR arrays are the state)
     # ------------------------------------------------------------------
-    def __getstate__(self):
+    def __getstate__(self) -> _GraphState:
         return (self._n, self._m, self._indptr, self._indices)
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: _GraphState) -> None:
         self._n, self._m, self._indptr, self._indices = state
         self._adj_cache = None
         self._adj_sets_cache = None
@@ -653,7 +661,7 @@ class Graph:
         self._dense = None
         self._bits = None
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, tuple[_GraphState]]:
         return (_rebuild_graph, (self.__getstate__(),))
 
     # ------------------------------------------------------------------
@@ -685,7 +693,7 @@ class Graph:
         return self._n
 
 
-def _rebuild_graph(state) -> Graph:
+def _rebuild_graph(state: _GraphState) -> Graph:
     """Unpickle helper: restore a :class:`Graph` from its CSR state."""
     graph = Graph.__new__(Graph)
     graph.__setstate__(state)

@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 
 from repro.graphs import generators as gen
 from repro.graphs.good import (

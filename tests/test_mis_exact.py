@@ -1,7 +1,6 @@
 """Tests for repro.graphs.mis_exact — and ground-truth checks of the
 processes against the exact enumeration."""
 
-import numpy as np
 import pytest
 
 from repro.core.three_color import ThreeColorMIS

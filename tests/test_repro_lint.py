@@ -1,0 +1,547 @@
+"""Tests for the repro-lint invariant checker suite (tools/repro_lint).
+
+Each AST rule gets three fixtures: a true positive (the rule fires), a
+clean negative (it does not), and a suppressed positive (a
+``# repro-lint: disable=<rule>`` pragma silences it).  The end-to-end
+tests then assert the real repository lints clean at HEAD — the same
+gate ``make lint`` and CI run.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.repro_lint.core import (  # noqa: E402
+    Config,
+    Finding,
+    SourceFile,
+    all_rules,
+    load_config,
+    path_matches,
+    run_lint,
+)
+from tools.repro_lint.rules import bench_floors, docs_drift  # noqa: E402
+
+#: Default fixture location: inside every AST rule's path scope.
+CORE_REL = "src/repro/core/fixture.py"
+
+
+def lint_source(tmp_path, text, rule, rel=CORE_REL, config=None):
+    """Lint one fixture snippet with a single rule; returns findings."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(text))
+    return run_lint(
+        [path],
+        tmp_path,
+        config=config or Config(root=tmp_path),
+        select=[rule],
+    )
+
+
+# ----------------------------------------------------------------------
+# coin-purity
+# ----------------------------------------------------------------------
+def test_coin_purity_flags_conditional_draw(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def resolve(coins, flag):
+            if flag:
+                return coins.bits(8)
+            return None
+        """,
+        "coin-purity",
+    )
+    assert len(findings) == 1
+    assert "conditional coin draw" in findings[0].message
+
+
+def test_coin_purity_flags_direct_numpy_random(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        import numpy as np
+
+        def draw(n):
+            return np.random.rand(n)
+        """,
+        "coin-purity",
+    )
+    assert len(findings) == 1
+    assert "np.random.rand" in findings[0].message
+
+
+def test_coin_purity_flags_default_rng_and_random_import(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        import random
+        from numpy.random import default_rng
+        """,
+        "coin-purity",
+    )
+    assert {("stdlib" in f.message) for f in findings} == {True, False}
+    assert len(findings) == 2
+
+
+def test_coin_purity_clean_unconditional_draw(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def step(self):
+            phi = self.coins.bits(self.n)
+            return phi
+        """,
+        "coin-purity",
+    )
+    assert findings == []
+
+
+def test_coin_purity_draws_in_loops_are_fine(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def run(self, rounds):
+            for _ in range(rounds):
+                phi = self.coins.bits(self.n)
+        """,
+        "coin-purity",
+    )
+    assert findings == []
+
+
+def test_coin_purity_pragma_suppresses(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def resolve(coins, init):
+            if init == "random":
+                return coins.bits(8)  # repro-lint: disable=coin-purity
+            return init
+        """,
+        "coin-purity",
+    )
+    assert findings == []
+
+
+def test_coin_purity_ignores_files_outside_core(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        import numpy as np
+
+        def draw(n):
+            return np.random.rand(n)
+        """,
+        "coin-purity",
+        rel="src/repro/baselines/fixture.py",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# cache-invalidation
+# ----------------------------------------------------------------------
+def test_cache_invalidation_flags_unabsolved_mutation(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        class P:
+            def corrupt(self, idx):
+                self.black[idx] = True
+        """,
+        "cache-invalidation",
+    )
+    assert len(findings) == 1
+    assert "identity-cached" in findings[0].message
+
+
+def test_cache_invalidation_invalidator_absolves(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        class P:
+            def corrupt(self, idx):
+                self.black[idx] = True
+                self._state_changed()
+        """,
+        "cache-invalidation",
+    )
+    assert findings == []
+
+
+def test_cache_invalidation_rebinding_absolves(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        class P:
+            def corrupt(self, idx, new):
+                self.black[idx] = True
+                self.black = self.black.copy()
+        """,
+        "cache-invalidation",
+    )
+    assert findings == []
+
+
+def test_cache_invalidation_frozen_views_never_absolved(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def mutate(graph):
+            graph.indptr[0] = 1
+            graph._state_changed()
+        """,
+        "cache-invalidation",
+    )
+    assert len(findings) == 1
+    assert "immutable Graph view" in findings[0].message
+
+
+def test_cache_invalidation_pragma_suppresses(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        class P:
+            def corrupt(self, idx):
+                self.black[idx] = True  # repro-lint: disable=cache-invalidation
+        """,
+        "cache-invalidation",
+    )
+    assert findings == []
+
+
+def test_cache_invalidation_config_allowlist(tmp_path):
+    config = Config(
+        root=tmp_path,
+        rules={"cache-invalidation": {"allow": [CORE_REL]}},
+    )
+    findings = lint_source(
+        tmp_path,
+        """
+        class P:
+            def corrupt(self, idx):
+                self.black[idx] = True
+        """,
+        "cache-invalidation",
+        config=config,
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# dtype-discipline
+# ----------------------------------------------------------------------
+def test_dtype_flags_bare_constructors_and_widening(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        import numpy as np
+
+        def build(n, x):
+            a = np.zeros(n)
+            b = np.cumsum(x)
+            c = x.sum(axis=1)
+            return a, b, c
+        """,
+        "dtype-discipline",
+    )
+    assert len(findings) == 3
+
+
+def test_dtype_clean_with_explicit_dtype(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        import numpy as np
+
+        def build(n, x):
+            a = np.zeros(n, dtype=np.int64)
+            b = np.cumsum(x, dtype=np.int64)
+            c = x.sum(axis=1, dtype=np.int32)
+            d = x.sum()  # scalar reduction: no array accumulator
+            return a, b, c, d
+        """,
+        "dtype-discipline",
+    )
+    assert findings == []
+
+
+def test_dtype_pragma_suppresses(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        import numpy as np
+
+        def build(n):
+            return np.zeros(n)  # repro-lint: disable=dtype-discipline
+        """,
+        "dtype-discipline",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# hot-loop-alloc
+# ----------------------------------------------------------------------
+def test_hot_loop_alloc_flags_allocation_in_run_loop(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        import numpy as np
+
+        def run(self, rounds):
+            for _ in range(rounds):
+                buf = np.zeros(self.n, dtype=bool)
+        """,
+        "hot-loop-alloc",
+    )
+    assert len(findings) == 1
+    assert "every round" in findings[0].message
+
+
+def test_hot_loop_alloc_clean_with_reuse_buffer(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        import numpy as np
+
+        def run(self, rounds):
+            buf = np.zeros(self.n, dtype=bool)
+            for _ in range(rounds):
+                buf.fill(False)
+        """,
+        "hot-loop-alloc",
+    )
+    assert findings == []
+
+
+def test_hot_loop_alloc_ignores_non_run_functions(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        import numpy as np
+
+        def retire(self, rows):
+            for r in rows:
+                scratch = np.zeros(self.n, dtype=bool)
+        """,
+        "hot-loop-alloc",
+    )
+    assert findings == []
+
+
+def test_hot_loop_alloc_pragma_suppresses(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        import numpy as np
+
+        def run(self, rounds):
+            for _ in range(rounds):
+                buf = np.zeros(self.n, dtype=bool)  # repro-lint: disable=hot-loop-alloc
+        """,
+        "hot-loop-alloc",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# bench-floors (project rule: validates BENCH_*.json artifacts)
+# ----------------------------------------------------------------------
+def _bench_entry(**overrides):
+    entry = {
+        "workload": "w",
+        "seconds": 1.0,
+        "speedup": 5.0,
+        "floor": 3.0,
+        "commit": "abc1234",
+    }
+    entry.update(overrides)
+    return entry
+
+
+def test_bench_floors_clean_file(tmp_path):
+    path = tmp_path / "BENCH_ok.json"
+    path.write_text(json.dumps([_bench_entry()]))
+    findings, files = bench_floors.check_root(tmp_path)
+    assert files == [path]
+    assert findings == []
+
+
+def test_bench_floors_flags_regression_and_missing_fields(tmp_path):
+    path = tmp_path / "BENCH_bad.json"
+    path.write_text(
+        json.dumps(
+            [
+                _bench_entry(speedup=1.0),  # below its 3.0 floor
+                {"workload": "incomplete"},  # missing fields
+                _bench_entry(workload="dup"),
+                _bench_entry(workload="dup"),  # duplicate label
+                _bench_entry(workload="ungated", floor=0),
+            ]
+        )
+    )
+    findings, _ = bench_floors.check_root(tmp_path)
+    messages = " | ".join(f.message for f in findings)
+    assert "regressed below" in messages
+    assert "missing fields" in messages
+    assert "duplicate workload label" in messages
+    assert "ungated" in messages
+    assert len(findings) == 4
+
+
+def test_bench_floors_reports_absent_trajectory(tmp_path):
+    rule = all_rules()["bench-floors"]
+    from tools.repro_lint.core import LintContext
+
+    findings = rule.check_project(LintContext(config=Config(root=tmp_path)))
+    assert len(findings) == 1
+    assert "no BENCH_*.json" in findings[0].message
+
+
+def test_bench_floors_unreadable_file(tmp_path):
+    path = tmp_path / "BENCH_broken.json"
+    path.write_text("{not json")
+    findings, _ = bench_floors.check_root(tmp_path)
+    assert len(findings) == 1
+    assert "unreadable" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# docs-drift (project rule: docs/API.md freshness)
+# ----------------------------------------------------------------------
+def test_docs_drift_heading_diff():
+    committed = "### `a.b` *function*\n### `a.c` *class*\n"
+    fresh = "### `a.b` *function*\n### `a.d` *class*\n"
+    drift = docs_drift.drifted_headings(committed, fresh)
+    assert drift == ["### `a.c` *class*", "### `a.d` *class*"]
+    assert docs_drift.drifted_headings(committed, committed) == []
+
+
+def test_docs_drift_committed_reference_is_fresh():
+    # Same invariant as tools/check_docs.py, through the rule's path.
+    committed = (REPO_ROOT / "docs" / "API.md").read_text()
+    assert committed == docs_drift.fresh_api_text(REPO_ROOT)
+
+
+# ----------------------------------------------------------------------
+# Core machinery
+# ----------------------------------------------------------------------
+def test_file_level_pragma_suppresses_whole_module(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        # repro-lint: disable-file=dtype-discipline
+        import numpy as np
+
+        def build(n):
+            return np.zeros(n), np.ones(n)
+        """,
+        "dtype-discipline",
+    )
+    assert findings == []
+
+
+def test_suppressed_checks_line_and_rule():
+    src = SourceFile(
+        pathlib.Path("x.py"),
+        "x.py",
+        "a = 1  # repro-lint: disable=dtype-discipline\nb = 2\n",
+    )
+    hit = Finding("x.py", 1, 0, "dtype-discipline", "m")
+    other_line = Finding("x.py", 2, 0, "dtype-discipline", "m")
+    other_rule = Finding("x.py", 1, 0, "coin-purity", "m")
+    assert src.suppressed(hit)
+    assert not src.suppressed(other_line)
+    assert not src.suppressed(other_rule)
+
+
+def test_path_matches_prefixes_and_globs():
+    assert path_matches("src/repro/core/x.py", ("src/repro/core",))
+    assert path_matches("src/repro/core/x.py", ("src/repro/core/*.py",))
+    assert not path_matches("src/repro/baselines/x.py", ("src/repro/core",))
+
+
+def test_unknown_rule_selection_raises(tmp_path):
+    with pytest.raises(ValueError, match="unknown rule"):
+        run_lint([tmp_path], tmp_path, select=["no-such-rule"])
+
+
+def test_all_expected_rules_registered():
+    assert set(all_rules()) >= {
+        "coin-purity",
+        "cache-invalidation",
+        "dtype-discipline",
+        "hot-loop-alloc",
+        "bench-floors",
+        "docs-drift",
+    }
+
+
+def test_syntax_error_reported_not_fatal(tmp_path):
+    bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def broken(:\n")
+    errors = []
+    findings = run_lint(
+        [bad],
+        tmp_path,
+        config=Config(root=tmp_path),
+        select=["dtype-discipline"],
+        on_error=errors.append,
+    )
+    assert findings == []
+    assert len(errors) == 1 and "cannot lint" in errors[0]
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the repository itself lints clean at HEAD
+# ----------------------------------------------------------------------
+def test_repository_lints_clean():
+    findings = run_lint(
+        [REPO_ROOT / "src"],
+        REPO_ROOT,
+        config=load_config(REPO_ROOT),
+    )
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_cli_clean_and_list_rules():
+    env_root = str(REPO_ROOT)
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.repro_lint", "src"],
+        cwd=env_root,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "repro-lint: clean" in proc.stdout
+
+    listed = subprocess.run(
+        [sys.executable, "-m", "tools.repro_lint", "--list-rules"],
+        cwd=env_root,
+        capture_output=True,
+        text=True,
+    )
+    assert listed.returncode == 0
+    for rule in ("coin-purity", "bench-floors"):
+        assert rule in listed.stdout
+
+
+def test_cli_rejects_missing_path():
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.repro_lint", "no/such/dir"],
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 2

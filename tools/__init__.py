@@ -1,0 +1,1 @@
+"""Repo tooling: docs generation, bench gating, and the repro-lint suite."""

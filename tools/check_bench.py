@@ -1,71 +1,44 @@
 #!/usr/bin/env python3
 """Fail if any committed ``BENCH_*.json`` entry regresses its floor.
 
-The perf-trajectory files written by ``make bench-fast``
-(:mod:`benchmarks.emit_bench_json`) carry a per-entry ``floor`` — the
-CI-safe minimum for that entry's ``speedup``.  This checker walks every
-``BENCH_*.json`` at the repo root and exits non-zero when an entry's
-measured speedup is below its floor (or when a file is malformed /
-missing the fields), so the CI workflow's bench-trajectory step gates
-perf regressions, not just crashes.
-
-Usage::
+Thin shim over the ``bench-floors`` repro-lint rule
+(:mod:`tools.repro_lint.rules.bench_floors`), kept for the existing
+Makefile/CI entry points::
 
     PYTHONPATH=src python tools/check_bench.py
 
 (equivalently ``make check-bench``; CI runs it right after the
-emission step, so the gate applies to freshly measured numbers.)
+emission step, so the gate applies to freshly measured numbers.
+Plain ``python -m tools.repro_lint`` reports the same problems as
+``bench-floors`` findings.)
 """
 
 from __future__ import annotations
 
-import json
 import pathlib
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
 
-REQUIRED_FIELDS = ("workload", "seconds", "speedup", "floor", "commit")
-
-
-def check_file(path: pathlib.Path) -> list[str]:
-    """Problems found in one ``BENCH_*.json`` (empty list = clean)."""
-    problems: list[str] = []
-    try:
-        entries = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        return [f"{path.name}: unreadable ({exc})"]
-    if not isinstance(entries, list) or not entries:
-        return [f"{path.name}: expected a non-empty list of entries"]
-    for i, e in enumerate(entries):
-        missing = [f for f in REQUIRED_FIELDS if f not in e]
-        if missing:
-            problems.append(
-                f"{path.name}[{i}]: missing fields {missing}"
-            )
-            continue
-        if e["speedup"] < e["floor"]:
-            problems.append(
-                f"{path.name}[{i}]: {e['workload']!r} speedup "
-                f"{e['speedup']}x regressed below its {e['floor']}x floor"
-            )
-    return problems
+from tools.repro_lint.rules.bench_floors import (  # noqa: E402
+    REQUIRED_FIELDS,  # noqa: F401  (re-export for compatibility)
+    check_root,
+)
 
 
 def main() -> int:
-    files = sorted(ROOT.glob("BENCH_*.json"))
+    findings, files = check_root(ROOT)
     if not files:
         print("no BENCH_*.json files found; run `make bench-fast` first")
         return 1
-    problems: list[str] = []
-    for path in files:
-        problems.extend(check_file(path))
-    for problem in problems:
-        print(f"FAIL {problem}")
-    if not problems:
+    for f in findings:
+        print(f"FAIL {f.path}: {f.message}")
+    if not findings:
         names = ", ".join(p.name for p in files)
         print(f"OK: every entry meets its speedup floor ({names})")
-    return 1 if problems else 0
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":

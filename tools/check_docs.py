@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
 """Fail if the committed docs/API.md is stale.
 
-Regenerates the API reference in memory (via :mod:`gen_api_docs`) and
-diffs it against the committed ``docs/API.md``.  Intended for CI and
-pre-commit use::
+Thin shim over the ``docs-drift`` repro-lint rule
+(:mod:`tools.repro_lint.rules.docs_drift`), kept for the existing
+Makefile/CI entry points and for its ``--fix`` mode::
 
     PYTHONPATH=src python tools/check_docs.py        # exit 1 if stale
     PYTHONPATH=src python tools/check_docs.py --fix  # rewrite in place
 
-``make check-docs`` / ``make docs`` wrap the two modes.
+``make check-docs`` / ``make docs`` wrap the two modes; plain
+``python -m tools.repro_lint`` reports the same staleness as a
+``docs-drift`` finding.
 """
 
 from __future__ import annotations
@@ -18,11 +20,13 @@ import difflib
 import pathlib
 import sys
 
-sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
 
-import gen_api_docs  # noqa: E402
+from tools.repro_lint.rules.docs_drift import fresh_api_text  # noqa: E402
 
-API_MD = pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md"
+API_MD = ROOT / "docs" / "API.md"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -34,7 +38,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    fresh = gen_api_docs.render()
+    fresh = fresh_api_text(ROOT)
     committed = API_MD.read_text() if API_MD.exists() else ""
     if committed == fresh:
         print(f"{API_MD} is up to date")

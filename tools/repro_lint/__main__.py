@@ -1,0 +1,119 @@
+"""CLI: ``python -m tools.repro_lint [paths...]``.
+
+Exit status 0 when every rule passes, 1 on findings, 2 on usage errors.
+Run from the repo root (the default paths are ``src tests benchmarks``);
+``--select`` restricts to a comma-separated subset of rules,
+``--no-project`` skips the whole-repo rules (bench floors, docs drift)
+for fast editor feedback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+if __package__ in (None, ""):  # `python tools/repro_lint` without -m
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
+
+from tools.repro_lint.core import (  # noqa: E402
+    ProjectRule,
+    all_rules,
+    load_config,
+    run_lint,
+)
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint", description=__doc__
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parents[2],
+        help="repository root (config, BENCH files, docs)",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip whole-repo rules (bench-floors, docs-drift)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        width = max(len(name) for name in rules)
+        for name, rule in sorted(rules.items()):
+            kind = "project" if isinstance(rule, ProjectRule) else "file"
+            print(f"{name:<{width}}  [{kind}]  {rule.description}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [r.strip() for r in args.select.split(",") if r.strip()]
+    if args.no_project:
+        select = [
+            name
+            for name in (select if select is not None else rules)
+            if not isinstance(rules.get(name), ProjectRule)
+        ]
+
+    root = args.root.resolve()
+    paths = []
+    for p in args.paths:
+        path = pathlib.Path(p)
+        if not path.is_absolute():
+            path = root / path
+        if not path.exists():
+            print(f"repro-lint: no such path: {p}", file=sys.stderr)
+            return 2
+        paths.append(path)
+
+    errors: list[str] = []
+    try:
+        findings = run_lint(
+            paths,
+            root,
+            config=load_config(root),
+            select=select,
+            on_error=errors.append,
+        )
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    for err in errors:
+        print(f"repro-lint: {err}", file=sys.stderr)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        count = len(findings)
+        rules_hit = sorted({f.rule for f in findings})
+        print(
+            f"\nrepro-lint: {count} finding{'s' if count != 1 else ''} "
+            f"({', '.join(rules_hit)})"
+        )
+        return 1
+    print("repro-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

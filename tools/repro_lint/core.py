@@ -1,0 +1,295 @@
+"""Shared finding/rule/suppression/config core of repro-lint.
+
+Every checker is a :class:`Rule` (per-file, AST-based) or a
+:class:`ProjectRule` (whole-repo artifacts such as ``BENCH_*.json`` and
+``docs/API.md``).  Rules register themselves into :data:`REGISTRY` via
+the :func:`register` decorator at import time; :func:`run_lint` walks
+the requested paths, parses each file once, applies every rule whose
+path scope matches, and filters findings through per-line pragmas and
+the ``pyproject.toml`` allowlist.
+
+Suppression syntax (anywhere on the offending line)::
+
+    counts[idx] += 1  # repro-lint: disable=cache-invalidation
+
+and, once per file (typically under the module docstring)::
+
+    # repro-lint: disable-file=dtype-discipline
+
+Configuration lives in ``pyproject.toml``::
+
+    [tool.repro-lint]
+    exclude = ["tests/data/*"]
+
+    [tool.repro-lint.rules.coin-purity]
+    paths = ["src/repro/core"]        # scope override (globs/prefixes)
+    allow = ["src/repro/core/x.py"]   # files exempt from the rule
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import pathlib
+import re
+import tomllib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+#: ``# repro-lint: disable=rule-a,rule-b`` (per line).
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*disable=([\w,\- ]+)")
+#: ``# repro-lint: disable-file=rule-a,rule-b`` (whole module).
+_PRAGMA_FILE = re.compile(r"#\s*repro-lint:\s*disable-file=([\w,\- ]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, addressable for suppression and reporting."""
+
+    path: str  # repo-relative posix path
+    line: int  # 1-based; 0 for whole-file findings
+    col: int  # 0-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+class SourceFile:
+    """A parsed python source file plus its suppression pragmas."""
+
+    def __init__(self, path: pathlib.Path, rel: str, text: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=rel)
+        self.line_disables: dict[int, set[str]] = {}
+        self.file_disables: set[str] = set()
+        for lineno, line in enumerate(self.lines, start=1):
+            m = _PRAGMA.search(line)
+            if m:
+                self.line_disables[lineno] = {
+                    r.strip() for r in m.group(1).split(",") if r.strip()
+                }
+            m = _PRAGMA_FILE.search(line)
+            if m:
+                self.file_disables |= {
+                    r.strip() for r in m.group(1).split(",") if r.strip()
+                }
+
+    def suppressed(self, finding: Finding) -> bool:
+        if finding.rule in self.file_disables:
+            return True
+        rules = self.line_disables.get(finding.line)
+        return rules is not None and finding.rule in rules
+
+
+@dataclass
+class Config:
+    """Resolved ``[tool.repro-lint]`` settings."""
+
+    root: pathlib.Path
+    exclude: list[str] = field(default_factory=list)
+    #: per-rule settings: ``{"paths": [...], "allow": [...], ...}``.
+    rules: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def rule_option(self, rule: str, key: str, default: Any = None) -> Any:
+        return self.rules.get(rule, {}).get(key, default)
+
+
+def load_config(root: pathlib.Path) -> Config:
+    """Read ``[tool.repro-lint]`` from ``<root>/pyproject.toml`` if present."""
+    pyproject = root / "pyproject.toml"
+    if not pyproject.exists():
+        return Config(root=root)
+    data = tomllib.loads(pyproject.read_text())
+    section = data.get("tool", {}).get("repro-lint", {})
+    return Config(
+        root=root,
+        exclude=list(section.get("exclude", [])),
+        rules={
+            str(name): dict(opts)
+            for name, opts in section.get("rules", {}).items()
+        },
+    )
+
+
+def path_matches(rel: str, patterns: Iterable[str]) -> bool:
+    """Whether a repo-relative posix path matches any pattern.
+
+    A pattern is an ``fnmatch`` glob; a bare directory prefix (``src/x``)
+    matches everything beneath it.
+    """
+    for pat in patterns:
+        pat = pat.rstrip("/")
+        if rel == pat or fnmatch.fnmatch(rel, pat):
+            return True
+        if fnmatch.fnmatch(rel, pat + "/*"):
+            return True
+    return False
+
+
+@dataclass
+class LintContext:
+    """What a rule gets to see: resolved config plus the repo root."""
+
+    config: Config
+
+    @property
+    def root(self) -> pathlib.Path:
+        return self.config.root
+
+
+class Rule:
+    """Base class for per-file AST rules."""
+
+    #: Unique kebab-case rule id (used in pragmas and config).
+    name: str = ""
+    #: One-line description (``--list-rules``).
+    description: str = ""
+    #: Default path scope (globs/prefixes); ``None`` = every linted file.
+    default_paths: tuple[str, ...] | None = None
+
+    def applies_to(self, rel: str, config: Config) -> bool:
+        paths = config.rule_option(self.name, "paths", self.default_paths)
+        if paths is not None and not path_matches(rel, paths):
+            return False
+        allow = config.rule_option(self.name, "allow", ())
+        return not path_matches(rel, allow)
+
+    def check(self, src: SourceFile, ctx: LintContext) -> list[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """Base class for whole-repo rules (no per-file AST)."""
+
+    def check(self, src: SourceFile, ctx: LintContext) -> list[Finding]:
+        return []
+
+    def check_project(self, ctx: LintContext) -> list[Finding]:
+        raise NotImplementedError
+
+
+#: All registered rules, by name (import :mod:`tools.repro_lint.rules`
+#: for the built-in set).
+REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule."""
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if rule.name in REGISTRY:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    REGISTRY[rule.name] = rule
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """The registry with the built-in rules guaranteed loaded."""
+    import tools.repro_lint.rules  # noqa: F401  (registers on import)
+
+    return REGISTRY
+
+
+def iter_python_files(
+    paths: Iterable[pathlib.Path], root: pathlib.Path, exclude: Iterable[str]
+) -> Iterator[tuple[pathlib.Path, str]]:
+    """Yield ``(path, relpath)`` for every .py file under the inputs."""
+    seen: set[str] = set()
+    for p in paths:
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in files:
+            try:
+                rel = f.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                rel = f.as_posix()
+            if rel in seen or path_matches(rel, exclude):
+                continue
+            seen.add(rel)
+            yield f, rel
+
+
+def run_lint(
+    paths: Iterable[pathlib.Path],
+    root: pathlib.Path,
+    config: Config | None = None,
+    select: Iterable[str] | None = None,
+    on_error: Callable[[str], None] | None = None,
+) -> list[Finding]:
+    """Lint the given files/directories; returns sorted findings.
+
+    ``select`` restricts to a subset of rule names.  Unparseable files
+    are reported through ``on_error`` (and otherwise ignored — the test
+    suite and CI run the real parser anyway).
+    """
+    config = config or load_config(root)
+    rules = all_rules()
+    if select is not None:
+        unknown = set(select) - set(rules)
+        if unknown:
+            raise ValueError(f"unknown rule(s): {sorted(unknown)}")
+        rules = {name: rules[name] for name in select}
+    file_rules = [
+        r for r in rules.values() if not isinstance(r, ProjectRule)
+    ]
+    project_rules = [r for r in rules.values() if isinstance(r, ProjectRule)]
+    ctx = LintContext(config=config)
+
+    findings: list[Finding] = []
+    for path, rel in iter_python_files(paths, root, config.exclude):
+        active = [r for r in file_rules if r.applies_to(rel, config)]
+        if not active:
+            continue
+        try:
+            src = SourceFile(path, rel, path.read_text())
+        except (OSError, SyntaxError) as exc:
+            if on_error is not None:
+                on_error(f"{rel}: cannot lint ({exc})")
+            continue
+        for rule in active:
+            findings.extend(
+                f for f in rule.check(src, ctx) if not src.suppressed(f)
+            )
+    for rule in project_rules:
+        findings.extend(rule.check_project(ctx))
+    return sorted(findings)
+
+
+# ----------------------------------------------------------------------
+# Small AST helpers shared by the rule modules
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for nested Attribute/Name chains, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def has_keyword(call: ast.Call, name: str) -> bool:
+    return any(kw.arg == name for kw in call.keywords)
+
+
+def walk_with_parents(
+    tree: ast.AST,
+) -> Iterator[tuple[ast.AST, list[ast.AST]]]:
+    """Depth-first walk yielding ``(node, ancestor_stack)`` pairs."""
+    stack: list[ast.AST] = []
+
+    def visit(node: ast.AST) -> Iterator[tuple[ast.AST, list[ast.AST]]]:
+        yield node, stack
+        stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child)
+        stack.pop()
+
+    yield from visit(tree)

@@ -1,0 +1,10 @@
+"""Built-in repro-lint rules (importing this module registers them)."""
+
+from tools.repro_lint.rules import (  # noqa: F401
+    bench_floors,
+    cache_invalidation,
+    coin_purity,
+    docs_drift,
+    dtype_discipline,
+    hot_loop_alloc,
+)

@@ -1,0 +1,120 @@
+"""bench-floors: every committed BENCH_*.json entry carries its gate.
+
+The perf-trajectory files written by ``make bench-fast`` are the CI
+regression gate: each entry names a workload and the CI-safe minimum
+(``floor``) for its measured ``speedup``.  An entry without a floor is
+a workload CI silently stopped gating — the drift this rule exists to
+reject.  Checks, per ``BENCH_*.json`` at the repo root:
+
+* the file parses to a non-empty list of entries;
+* every entry has the required fields
+  (``workload``/``seconds``/``speedup``/``floor``/``commit``);
+* ``floor`` is a positive number and ``speedup`` meets it;
+* workload labels are unique within the file (a duplicated label means
+  two measurements race for one gate).
+
+``tools/check_bench.py`` is a thin shim over this rule, kept for the
+existing Makefile/CI entry points.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from tools.repro_lint.core import (
+    Finding,
+    LintContext,
+    ProjectRule,
+    register,
+)
+
+REQUIRED_FIELDS = ("workload", "seconds", "speedup", "floor", "commit")
+
+
+def check_file(path: pathlib.Path, rel: str | None = None) -> list[Finding]:
+    """All findings for one ``BENCH_*.json`` (empty list = clean)."""
+    rel = rel if rel is not None else path.name
+    findings: list[Finding] = []
+
+    def flag(message: str) -> None:
+        findings.append(
+            Finding(path=rel, line=0, col=0, rule="bench-floors", message=message)
+        )
+
+    try:
+        entries = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        flag(f"unreadable ({exc})")
+        return findings
+    if not isinstance(entries, list) or not entries:
+        flag("expected a non-empty list of entries")
+        return findings
+    seen: set[str] = set()
+    for i, e in enumerate(entries):
+        if not isinstance(e, dict):
+            flag(f"entry [{i}] is not an object")
+            continue
+        missing = [f for f in REQUIRED_FIELDS if f not in e]
+        if missing:
+            flag(f"entry [{i}] missing fields {missing}")
+            continue
+        workload = e["workload"]
+        if not isinstance(workload, str) or not workload:
+            flag(f"entry [{i}] workload label must be a non-empty string")
+            continue
+        if workload in seen:
+            flag(f"duplicate workload label {workload!r}")
+        seen.add(workload)
+        floor = e["floor"]
+        if not isinstance(floor, (int, float)) or floor <= 0:
+            flag(
+                f"{workload!r} has no positive regression floor "
+                f"(floor={floor!r}); the workload is ungated"
+            )
+            continue
+        speedup = e["speedup"]
+        if not isinstance(speedup, (int, float)):
+            flag(f"{workload!r} speedup must be a number, got {speedup!r}")
+        elif speedup < floor:
+            flag(
+                f"{workload!r} speedup {speedup}x regressed below its "
+                f"{floor}x floor"
+            )
+    return findings
+
+
+def check_root(root: pathlib.Path) -> tuple[list[Finding], list[pathlib.Path]]:
+    """Findings plus the list of BENCH files found under ``root``."""
+    files = sorted(root.glob("BENCH_*.json"))
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(check_file(path))
+    return findings, files
+
+
+@register
+class BenchFloorsRule(ProjectRule):
+    name = "bench-floors"
+    description = (
+        "every BENCH_*.json entry is well-formed, uniquely labelled, "
+        "and meets its regression floor"
+    )
+    default_paths = ()  # project rule: no per-file scope
+
+    def check_project(self, ctx: LintContext) -> list[Finding]:
+        findings, files = check_root(ctx.root)
+        if not files:
+            findings.append(
+                Finding(
+                    path="BENCH_*.json",
+                    line=0,
+                    col=0,
+                    rule=self.name,
+                    message=(
+                        "no BENCH_*.json files at the repo root; run "
+                        "`make bench-fast` and commit the trajectory"
+                    ),
+                )
+            )
+        return findings

@@ -1,0 +1,88 @@
+"""docs-drift: docs/API.md matches a regeneration from the docstrings.
+
+``docs/API.md`` is generated (``tools/gen_api_docs.py``) and committed;
+a public symbol added, removed, or re-signed without regenerating the
+reference leaves the docs lying about the API.  This rule renders the
+reference in memory and diffs it against the committed file, reporting
+the first few drifted sections so the finding is actionable.
+
+``tools/check_docs.py`` is a thin shim over this rule (plus ``--fix``),
+kept for the existing Makefile/CI entry points.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+from tools.repro_lint.core import (
+    Finding,
+    LintContext,
+    ProjectRule,
+    register,
+)
+
+
+def fresh_api_text(root: pathlib.Path) -> str:
+    """Regenerate the API reference in memory (imports ``repro``)."""
+    src = root / "src"
+    for p in (str(src), str(root / "tools")):
+        if p not in sys.path:
+            sys.path.insert(0, p)
+    spec = importlib.util.spec_from_file_location(
+        "gen_api_docs", root / "tools" / "gen_api_docs.py"
+    )
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.render()
+
+
+def drifted_headings(committed: str, fresh: str, limit: int = 5) -> list[str]:
+    """Symbol headings present in exactly one of the two renderings."""
+    old = {l for l in committed.splitlines() if l.startswith("### ")}
+    new = {l for l in fresh.splitlines() if l.startswith("### ")}
+    return sorted(old ^ new)[:limit]
+
+
+@register
+class DocsDriftRule(ProjectRule):
+    name = "docs-drift"
+    description = "docs/API.md is regenerated for every public symbol"
+    default_paths = ()  # project rule: no per-file scope
+
+    def check_project(self, ctx: LintContext) -> list[Finding]:
+        api_md = ctx.root / "docs" / "API.md"
+        committed = api_md.read_text() if api_md.exists() else ""
+        try:
+            fresh = fresh_api_text(ctx.root)
+        except Exception as exc:  # pragma: no cover - import environment
+            return [
+                Finding(
+                    path="docs/API.md",
+                    line=0,
+                    col=0,
+                    rule=self.name,
+                    message=f"cannot regenerate the API reference ({exc})",
+                )
+            ]
+        if committed == fresh:
+            return []
+        drift = drifted_headings(committed, fresh)
+        detail = (
+            f"; changed symbols include {drift}" if drift
+            else " (docstring/signature text changed)"
+        )
+        return [
+            Finding(
+                path="docs/API.md",
+                line=0,
+                col=0,
+                rule=self.name,
+                message=(
+                    "stale API reference — regenerate with `make docs` "
+                    "(python tools/gen_api_docs.py)" + detail
+                ),
+            )
+        ]

@@ -1,0 +1,110 @@
+"""dtype-discipline: hot-path arrays say what they are.
+
+In the hot-path modules (the core engine family, the Graph substrate
+and the vectorized generators) an array constructor without an explicit
+``dtype=`` is a latent perf/identity bug: ``np.zeros(n)`` is float64,
+``np.arange(n)`` is platform-dependent, and a 64-bit array silently
+doubles the memory traffic of a path tuned for int32/float32 — or, in
+the worst case, changes a downstream cast and breaks the bitwise
+trajectory-identity contract between backends.
+
+Two sub-checks:
+
+1. ``np.zeros`` / ``np.ones`` / ``np.empty`` / ``np.full`` /
+   ``np.arange`` calls without a ``dtype=`` keyword.
+2. Array-valued reductions that silently widen: ``.sum(axis=...)`` /
+   ``np.sum(..., axis=...)`` / ``np.cumsum(...)`` with neither a
+   ``dtype=`` nor an ``out=`` keyword accumulate int32/float32 inputs
+   into 64-bit outputs on every 64-bit platform.
+
+Intentional widenings (int64 by design) carry a per-line pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repro_lint.core import (
+    Finding,
+    LintContext,
+    Rule,
+    SourceFile,
+    dotted_name,
+    has_keyword,
+    register,
+)
+
+#: Constructors that default to float64 / platform int.
+CONSTRUCTORS = ("zeros", "ones", "empty", "full", "arange")
+#: Free reductions whose accumulator silently widens.
+WIDENING_FREE = ("sum", "cumsum", "prod", "cumprod")
+#: Method reductions that widen when array-valued (``axis=`` given).
+WIDENING_METHODS = ("sum", "prod")
+
+
+@register
+class DtypeDisciplineRule(Rule):
+    name = "dtype-discipline"
+    description = (
+        "hot-path array constructors need an explicit dtype; "
+        "array-valued reductions must not silently widen to 64-bit"
+    )
+    default_paths = (
+        "src/repro/core",
+        "src/repro/graphs/graph.py",
+        "src/repro/graphs/generators.py",
+    )
+
+    def check(self, src: SourceFile, ctx: LintContext) -> list[Finding]:
+        findings: list[Finding] = []
+
+        def flag(node: ast.Call, message: str) -> None:
+            findings.append(
+                Finding(
+                    path=src.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.name,
+                    message=message,
+                )
+            )
+
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            head, _, member = name.rpartition(".")
+            if head in ("np", "numpy"):
+                if member in CONSTRUCTORS and not has_keyword(node, "dtype"):
+                    flag(
+                        node,
+                        f"`np.{member}` without explicit dtype= in a "
+                        "hot-path module (float64/platform-int default)",
+                    )
+                elif (
+                    member in WIDENING_FREE
+                    and not has_keyword(node, "dtype")
+                    and not has_keyword(node, "out")
+                    and (member.startswith("cum") or has_keyword(node, "axis"))
+                ):
+                    flag(
+                        node,
+                        f"`np.{member}` without dtype=/out= silently "
+                        "widens the accumulator to 64-bit",
+                    )
+            elif (
+                head
+                and head not in ("np", "numpy")
+                and member in WIDENING_METHODS
+                and has_keyword(node, "axis")
+                and not has_keyword(node, "dtype")
+                and not has_keyword(node, "out")
+            ):
+                flag(
+                    node,
+                    f"array-valued `.{member}(axis=...)` without dtype= "
+                    "silently widens the accumulator to 64-bit",
+                )
+        return findings
