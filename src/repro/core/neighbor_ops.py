@@ -223,6 +223,7 @@ class NeighborOps:
         # The minimum level needs no probe: ``exists(values >= min)`` is
         # all-True wherever a neighbour exists, and ``out`` already
         # starts >= min everywhere, so the write would be a no-op.
+        # reduction-budget: 1
         for level in np.unique(values)[1:]:
             has = self.exists(values >= level)
             out[has & (out < level)] = level
@@ -242,6 +243,7 @@ class NeighborOps:
         out = values.astype(np.int64).copy()  # self is included in N+.
         # Minimum level skipped for the same reason as in max_closed:
         # one fewer batched reduction per switch round, same output.
+        # reduction-budget: 1
         for level in np.unique(values)[1:]:
             has = self.exists_batch(values >= level)
             out[has & (out < level)] = level

@@ -119,7 +119,7 @@ class ThreeColorMIS(MISProcess):
         if switch is None:
             switch = RandomizedLogSwitch(
                 graph, coins=self.coins, zeta=4.0 / a, ops=self.ops
-            )
+            )  # repro-lint: disable=coin-flow (documented init-time draw; callers not passing a switch opt into its default init)
         self.switch = switch
         self.a = a
         self.engine = resolve_engine(engine)

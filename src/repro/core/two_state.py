@@ -150,7 +150,7 @@ class TwoStateMIS(MISProcess):
             and self._active_idx is not None
             and self._active_token is black
         ):
-            self._advance_on_active_idx(frontier)
+            self._advance_on_active_idx(frontier)  # repro-lint: disable=coin-flow (fast path draws the identical full-width bits(n))
             return
         has_black_nbr = self._has_black_neighbor()
         # A_t = (black & has) | (~black & ~has), i.e. elementwise XNOR.

@@ -26,11 +26,15 @@ results bitwise-identical either way.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.core.verify import assert_valid_mis
 from repro.sim.trace import Trace, TraceRecorder
+
+if TYPE_CHECKING:
+    from repro.core.process import MISProcess
 
 
 @dataclass
@@ -61,7 +65,7 @@ class RunResult:
 
 
 def run_until_stable(
-    process,
+    process: MISProcess,
     max_rounds: int = 1_000_000,
     record_trace: bool = False,
     record_states: bool = False,
@@ -151,7 +155,7 @@ def validate_batch(batch: str | int | None) -> None:
 
 
 def run_many_until_stable(
-    processes,
+    processes: Sequence[MISProcess],
     max_rounds: int = 1_000_000,
     verify: bool = True,
     batch: str | int | None = "auto",

@@ -27,6 +27,7 @@ from tools.repro_lint.core import (  # noqa: E402
     path_matches,
     run_lint,
 )
+from tools.repro_lint.dataflow import ProjectIndex  # noqa: E402
 from tools.repro_lint.rules import bench_floors, docs_drift  # noqa: E402
 
 #: Default fixture location: inside every AST rule's path scope.
@@ -355,6 +356,581 @@ def test_hot_loop_alloc_pragma_suppresses(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# coin-flow (dataflow rule: transitive conditional draws)
+# ----------------------------------------------------------------------
+def test_coin_flow_flags_conditional_transitive_draw(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        class Engine:
+            def _draw(self):
+                return self.coins.bits(8)
+
+            def _maybe(self):
+                return self._draw()
+
+            def step(self, flag):
+                if flag:
+                    self._maybe()
+        """,
+        "coin-flow",
+    )
+    assert len(findings) == 1
+    assert "transitively draws" in findings[0].message
+    assert "_maybe" in findings[0].message  # witness chain
+
+
+def test_coin_flow_clean_unconditional_and_loops(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        class Engine:
+            def _draw(self):
+                return self.coins.bits(8)
+
+            def step(self):
+                for _ in range(4):
+                    self._draw()
+
+            def run(self):
+                self._draw()
+        """,
+        "coin-flow",
+    )
+    assert findings == []
+
+
+def test_coin_flow_literal_draws_left_to_coin_purity(tmp_path):
+    # A literal conditional draw is coin-purity's finding, not ours.
+    findings = lint_source(
+        tmp_path,
+        """
+        class Engine:
+            def step(self, flag):
+                if flag:
+                    return self.coins.bits(8)
+        """,
+        "coin-flow",
+    )
+    assert findings == []
+
+
+def test_coin_flow_only_fires_in_hot_functions(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        class Engine:
+            def _draw(self):
+                return self.coins.bits(8)
+
+            def describe(self, flag):
+                if flag:
+                    self._draw()
+        """,
+        "coin-flow",
+    )
+    assert findings == []
+
+
+def test_coin_flow_pragma_suppresses(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        class Engine:
+            def _draw(self):
+                return self.coins.bits(8)
+
+            def step(self, flag):
+                if flag:
+                    self._draw()  # repro-lint: disable=coin-flow
+        """,
+        "coin-flow",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# parallel-safety
+# ----------------------------------------------------------------------
+def test_parallel_safety_flags_lambda_into_pool(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def sweep(pool, xs):
+            return pool.map(lambda x: x + 1, xs)
+        """,
+        "parallel-safety",
+    )
+    assert len(findings) == 1
+    assert "lambda" in findings[0].message
+
+
+def test_parallel_safety_flags_local_def_and_bound_method(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        class Sweeper:
+            def go(self, executor, xs):
+                def work(x):
+                    return x
+
+                a = executor.submit(work, xs)
+                b = executor.map(self._work, xs)
+                return a, b
+        """,
+        "parallel-safety",
+    )
+    messages = " | ".join(f.message for f in findings)
+    assert "locally defined function `work`" in messages
+    assert "bound method `self._work`" in messages
+    assert len(findings) == 2
+
+
+def test_parallel_safety_flags_lambda_at_n_jobs_site(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def run_sweep(grid):
+            return sweep_stabilization_times(
+                lambda s: make(s), grid, n_jobs=4
+            )
+        """,
+        "parallel-safety",
+    )
+    assert len(findings) == 1
+    assert "n_jobs" in findings[0].message
+
+
+def test_parallel_safety_flags_worker_global_mutation(tmp_path):
+    # Indexed path: the worker is resolved through the call graph.
+    findings = lint_source(
+        tmp_path,
+        """
+        _CACHE = {}
+
+        def _record(x):
+            _CACHE[x] = x
+
+        def _work(x):
+            _record(x)
+            return x
+
+        def sweep(pool, xs):
+            return pool.map(_work, xs)
+        """,
+        "parallel-safety",
+    )
+    assert len(findings) == 1
+    assert "_CACHE" in findings[0].message
+    assert "start-method" in findings[0].message
+
+
+def test_parallel_safety_same_file_fallback_outside_index(tmp_path):
+    # tools/ is outside the dataflow roots: same-file scan still works.
+    findings = lint_source(
+        tmp_path,
+        """
+        _SEEN = []
+
+        def _work(x):
+            _SEEN.append(x)
+            global _SEEN_COUNT
+            _SEEN_COUNT = len(_SEEN)
+            return x
+
+        def sweep(pool, xs):
+            return pool.map(_work, xs)
+        """,
+        "parallel-safety",
+        rel="tools/fixture.py",
+    )
+    assert len(findings) == 1
+    assert "_SEEN_COUNT" in findings[0].message
+
+
+def test_parallel_safety_clean_module_level_worker(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def _work(x):
+            return x * 2
+
+        def sweep(pool, xs):
+            return pool.map(_work, xs)
+        """,
+        "parallel-safety",
+    )
+    assert findings == []
+
+
+def test_parallel_safety_pragma_suppresses(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def sweep(pool, xs):
+            return pool.map(lambda x: x + 1, xs)  # repro-lint: disable=parallel-safety
+        """,
+        "parallel-safety",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# alias-escape
+# ----------------------------------------------------------------------
+def test_alias_escape_flags_subscript_store(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def corrupt(graph):
+            d = graph.degrees()
+            d[0] = 99
+        """,
+        "alias-escape",
+    )
+    assert len(findings) == 1
+    assert "degrees()" in findings[0].message
+
+
+def test_alias_escape_tracks_unpack_and_method_mutation(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def corrupt(graph):
+            indptr, indices = graph.adjacency_csr()
+            indices.fill(0)
+        """,
+        "alias-escape",
+    )
+    assert len(findings) == 1
+    assert "adjacency_csr()" in findings[0].message
+
+
+def test_alias_escape_tracks_row_views_and_augassign(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def corrupt(graph, v):
+            bits = graph.adjacency_bitset()
+            row = bits[v]
+            row |= 1
+        """,
+        "alias-escape",
+    )
+    assert len(findings) == 1
+    assert "adjacency_bitset()" in findings[0].message
+
+
+def test_alias_escape_copy_breaks_the_alias(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        import numpy as np
+
+        def fine(graph):
+            d = graph.degrees().copy()
+            d[0] = 99
+            e = graph.degrees()
+            e = e.astype(np.int64)
+            e[0] = 99
+            f = np.array(graph.adjacency_dense())
+            f[0, 0] = True
+        """,
+        "alias-escape",
+    )
+    assert findings == []
+
+
+def test_alias_escape_out_keyword_and_ufunc_at(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        import numpy as np
+
+        def corrupt(graph, idx, vals):
+            d = graph.degrees()
+            np.add.at(d, idx, vals)
+            np.cumsum(vals, out=d)
+        """,
+        "alias-escape",
+    )
+    assert len(findings) == 2
+
+
+def test_alias_escape_pragma_suppresses(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def corrupt(graph):
+            d = graph.degrees()
+            d[0] = 99  # repro-lint: disable=alias-escape
+        """,
+        "alias-escape",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# reduction-budget
+# ----------------------------------------------------------------------
+def test_reduction_budget_flags_over_budget_loop(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def _advance(self, rounds):
+            # reduction-budget: 1
+            for _ in range(rounds):
+                a = self.ops.count(self.black)
+                b = self.ops.exists(self.white)
+        """,
+        "reduction-budget",
+    )
+    assert len(findings) == 1
+    assert "2 lexical" in findings[0].message
+    assert "reduction-budget: 1" in findings[0].message
+
+
+def test_reduction_budget_requires_annotation_in_run_paths(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def run(self):
+            while True:
+                c = self.ops.count(self.black)
+        """,
+        "reduction-budget",
+    )
+    assert len(findings) == 1
+    assert "without a" in findings[0].message
+
+
+def test_reduction_budget_clean_within_budget_and_helpers(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def run(self, rounds):
+            # reduction-budget: 2
+            for _ in range(rounds):
+                a = self.ops.count(self.black)
+                b = self.ops.exists(self.white)
+
+        def helper(self, xs):
+            for x in xs:
+                self.ops.count(x)
+        """,
+        "reduction-budget",
+    )
+    assert findings == []
+
+
+def test_reduction_budget_annotation_on_loop_line(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def run(self, rounds):
+            for _ in range(rounds):  # reduction-budget: 1
+                self.ops.count(self.black)
+        """,
+        "reduction-budget",
+    )
+    assert findings == []
+
+
+def test_reduction_budget_counts_configured_wrappers(tmp_path):
+    config = Config(
+        root=tmp_path,
+        rules={"reduction-budget": {"methods": ["_count_nbrs"]}},
+    )
+    findings = lint_source(
+        tmp_path,
+        """
+        def run(self):
+            while True:
+                self._count_nbrs(self.black)
+        """,
+        "reduction-budget",
+        config=config,
+    )
+    assert len(findings) == 1
+
+
+def test_reduction_budget_pragma_suppresses(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def run(self):
+            while True:  # repro-lint: disable=reduction-budget
+                c = self.ops.count(self.black)
+        """,
+        "reduction-budget",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Dataflow core (tools/repro_lint/dataflow.py)
+# ----------------------------------------------------------------------
+def _write_pkg(tmp_path, files):
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+
+
+def test_dataflow_resolves_reexport_chains(tmp_path):
+    _write_pkg(
+        tmp_path,
+        {
+            "src/repro/__init__.py": "from repro.core import Engine\n",
+            "src/repro/core/__init__.py": (
+                "from repro.core.engine import Engine\n"
+            ),
+            "src/repro/core/engine.py": (
+                "class Engine:\n    def run(self):\n        pass\n"
+            ),
+            "src/repro/user.py": (
+                "from repro import Engine\n\n"
+                "def make():\n    return Engine()\n"
+            ),
+        },
+    )
+    index = ProjectIndex.build(tmp_path)
+    assert index.unresolved_imports == []
+    assert (
+        index.resolve_in_module("repro.user", "Engine")
+        == "repro.core.engine.Engine"
+    )
+
+
+def test_dataflow_import_cycles_terminate(tmp_path):
+    # Mutually recursive re-exports with no definition anywhere: the
+    # resolver must terminate (cycle guard) and report, not recurse.
+    _write_pkg(
+        tmp_path,
+        {
+            "src/repro/a.py": "from repro.b import ghost\n",
+            "src/repro/b.py": "from repro.a import ghost\n",
+        },
+    )
+    index = ProjectIndex.build(tmp_path)
+    assert len(index.unresolved_imports) == 2
+    # A resolvable cycle (modules importing each other's real
+    # functions) resolves fine.
+    _write_pkg(
+        tmp_path,
+        {
+            "src/repro/c.py": (
+                "from repro.d import g\n\ndef f():\n    return g()\n"
+            ),
+            "src/repro/d.py": (
+                "from repro.c import f\n\ndef g():\n    return f()\n"
+            ),
+        },
+    )
+    index = ProjectIndex.build(tmp_path)
+    assert index.resolve_qualified("repro.c.f") == "repro.c.f"
+    assert "repro.d.g" in index.callees("repro.c.f")
+    assert "repro.c.f" in index.callees("repro.d.g")
+
+
+def test_dataflow_dynamic_calls_degrade_to_warning(tmp_path):
+    _write_pkg(
+        tmp_path,
+        {
+            "src/repro/dyn.py": (
+                "def run(table, key):\n"
+                "    return table[key]()\n"
+            ),
+        },
+    )
+    index = ProjectIndex.build(tmp_path)
+    assert any("dynamic call" in w for w in index.dynamic_calls)
+    assert index.unresolved_imports == []  # warnings, not failures
+
+
+def test_dataflow_dispatch_covers_subclass_overrides(tmp_path):
+    _write_pkg(
+        tmp_path,
+        {
+            "src/repro/base.py": (
+                "class Base:\n"
+                "    def step(self):\n"
+                "        self._advance()\n"
+                "    def _advance(self):\n"
+                "        raise NotImplementedError\n"
+            ),
+            "src/repro/impl.py": (
+                "from repro.base import Base\n\n"
+                "class Impl(Base):\n"
+                "    def _advance(self):\n"
+                "        return self.coins.bits(4)\n"
+            ),
+        },
+    )
+    index = ProjectIndex.build(tmp_path)
+    targets = index.dispatch("repro.base.Base", "_advance")
+    assert "repro.impl.Impl._advance" in targets
+    # step reaches the drawing override through the dispatch edge.
+    assert "repro.base.Base.step" in index.coin_reaching()
+
+
+def test_dataflow_unresolved_import_surfaces_as_run_lint_warning(tmp_path):
+    warnings = []
+    findings = lint_source_with_errors(
+        tmp_path,
+        """
+        from repro.nowhere import ghost
+
+        class Engine:
+            def step(self, flag):
+                if flag:
+                    ghost()
+        """,
+        "coin-flow",
+        warnings,
+    )
+    assert findings == []
+    assert any(
+        "warning" in w and "unresolved import" in w for w in warnings
+    )
+
+
+def lint_source_with_errors(tmp_path, text, rule, errors, rel=CORE_REL):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(text))
+    return run_lint(
+        [path],
+        tmp_path,
+        config=Config(root=tmp_path),
+        select=[rule],
+        on_error=errors.append,
+    )
+
+
+def test_dataflow_repo_has_zero_unresolved_imports():
+    # Acceptance gate: every intra-`repro` import in src/ resolves.
+    index = ProjectIndex.build(REPO_ROOT)
+    assert index.unresolved_imports == [], "\n".join(
+        index.unresolved_imports
+    )
+    # Sanity: the index actually saw the codebase.
+    assert len(index.modules) > 50
+    assert index.resolve_qualified("repro.core.process.MISProcess")
+
+
+def test_dataflow_hot_set_and_coin_closure_on_repo():
+    index = ProjectIndex.build(REPO_ROOT)
+    hot = index.hot_functions()
+    draws = index.coin_reaching()
+    assert "repro.core.process.MISProcess.step" in hot
+    assert "repro.core.two_state.TwoStateMIS._advance" in hot
+    assert "repro.core.two_state.TwoStateMIS._advance" in draws
+    chain = index.draw_chain("repro.core.process.MISProcess.run")
+    assert chain, "run() must transitively reach a draw"
+
+
+# ----------------------------------------------------------------------
 # bench-floors (project rule: validates BENCH_*.json artifacts)
 # ----------------------------------------------------------------------
 def _bench_entry(**overrides):
@@ -465,6 +1041,59 @@ def test_suppressed_checks_line_and_rule():
     assert not src.suppressed(other_rule)
 
 
+def test_suppressed_multiline_call_any_statement_line():
+    text = (
+        "x = build(\n"
+        "    1,\n"
+        "    2,\n"
+        ")  # repro-lint: disable=dtype-discipline\n"
+        "y = build(3)\n"
+    )
+    src = SourceFile(pathlib.Path("x.py"), "x.py", text)
+    # Finding attributed to the statement's first line, pragma on its
+    # last line: same statement, suppressed.
+    assert src.suppressed(Finding("x.py", 1, 4, "dtype-discipline", "m"))
+    assert src.suppressed(Finding("x.py", 2, 4, "dtype-discipline", "m"))
+    # The next statement is not covered by that pragma.
+    assert not src.suppressed(
+        Finding("x.py", 5, 4, "dtype-discipline", "m")
+    )
+
+
+def test_suppressed_decorated_def_covers_header(tmp_path):
+    text = (
+        "@decorate  # repro-lint: disable=hot-loop-alloc\n"
+        "def run(\n"
+        "    rounds,\n"
+        "):\n"
+        "    pass\n"
+    )
+    src = SourceFile(pathlib.Path("x.py"), "x.py", text)
+    # Findings on the def header lines share the decorator's statement.
+    assert src.suppressed(Finding("x.py", 2, 0, "hot-loop-alloc", "m"))
+    assert src.suppressed(Finding("x.py", 1, 1, "hot-loop-alloc", "m"))
+    # The body is its own statement, not covered.
+    assert not src.suppressed(Finding("x.py", 5, 4, "hot-loop-alloc", "m"))
+
+
+def test_suppressed_multiline_end_to_end(tmp_path):
+    # The rule reports on the call's first line; the pragma sits on the
+    # closing-paren line.  Through run_lint, not just SourceFile.
+    findings = lint_source(
+        tmp_path,
+        """
+        import numpy as np
+
+        def build(n, m):
+            return np.zeros(
+                (n, m),
+            )  # repro-lint: disable=dtype-discipline
+        """,
+        "dtype-discipline",
+    )
+    assert findings == []
+
+
 def test_path_matches_prefixes_and_globs():
     assert path_matches("src/repro/core/x.py", ("src/repro/core",))
     assert path_matches("src/repro/core/x.py", ("src/repro/core/*.py",))
@@ -479,11 +1108,15 @@ def test_unknown_rule_selection_raises(tmp_path):
 def test_all_expected_rules_registered():
     assert set(all_rules()) >= {
         "coin-purity",
+        "coin-flow",
         "cache-invalidation",
         "dtype-discipline",
         "hot-loop-alloc",
         "bench-floors",
         "docs-drift",
+        "parallel-safety",
+        "alias-escape",
+        "reduction-budget",
     }
 
 
@@ -545,3 +1178,129 @@ def test_cli_rejects_missing_path():
         text=True,
     )
     assert proc.returncode == 2
+
+
+def test_cli_default_surface_is_clean():
+    # The acceptance gate: the whole configured lint surface at HEAD.
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "tools.repro_lint",
+            "src",
+            "tests",
+            "benchmarks",
+            "examples",
+            "tools",
+        ],
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "repro-lint: clean" in proc.stdout
+
+
+def test_cli_json_format(tmp_path):
+    fixture = tmp_path / "src" / "repro" / "core" / "fixture.py"
+    fixture.parent.mkdir(parents=True)
+    fixture.write_text(
+        "def resolve(coins, flag):\n"
+        "    if flag:\n"
+        "        return coins.bits(8)\n"
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "tools.repro_lint",
+            "--root",
+            str(tmp_path),
+            "--select",
+            "coin-purity",
+            "--format",
+            "json",
+            "src",
+        ],
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    report = json.loads(proc.stdout)
+    assert len(report["findings"]) == 1
+    finding = report["findings"][0]
+    assert finding["rule"] == "coin-purity"
+    assert finding["path"] == "src/repro/core/fixture.py"
+    assert finding["line"] == 3
+
+
+def test_cli_github_format(tmp_path):
+    fixture = tmp_path / "src" / "repro" / "core" / "fixture.py"
+    fixture.parent.mkdir(parents=True)
+    fixture.write_text(
+        "def resolve(coins, flag):\n"
+        "    if flag:\n"
+        "        return coins.bits(8)\n"
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "tools.repro_lint",
+            "--root",
+            str(tmp_path),
+            "--select",
+            "coin-purity",
+            "--format",
+            "github",
+            "src",
+        ],
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    assert (
+        "::error file=src/repro/core/fixture.py,line=3,"
+        in proc.stdout
+    )
+    assert "title=repro-lint/coin-purity" in proc.stdout
+
+
+def test_cli_max_seconds_budget():
+    # A budget no real run can meet: exit 1 with the budget message.
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "tools.repro_lint",
+            "--select",
+            "coin-purity",
+            "--max-seconds",
+            "0.000001",
+            "src",
+        ],
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    assert "runtime budget blown" in proc.stderr
+    # And a sane budget passes (the CI gate is 10 s for the full run).
+    ok = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "tools.repro_lint",
+            "--select",
+            "coin-purity",
+            "--max-seconds",
+            "60",
+            "src",
+        ],
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+    )
+    assert ok.returncode == 0

@@ -1,29 +1,115 @@
 """CLI: ``python -m tools.repro_lint [paths...]``.
 
-Exit status 0 when every rule passes, 1 on findings, 2 on usage errors.
-Run from the repo root (the default paths are ``src tests benchmarks``);
-``--select`` restricts to a comma-separated subset of rules,
-``--no-project`` skips the whole-repo rules (bench floors, docs drift)
-for fast editor feedback.
+Exit status 0 when every rule passes, 1 on findings (or a blown
+``--max-seconds`` budget), 2 on usage errors.  Run from the repo root;
+the default paths come from ``[tool.repro-lint] paths`` in
+``pyproject.toml`` (falling back to
+``src tests benchmarks examples tools``).  ``--select`` restricts to a
+comma-separated subset of rules, ``--no-project`` skips the whole-repo
+rules (bench floors, docs drift) for fast editor feedback, and
+``--format`` picks the output:
+
+- ``text`` (default) — one human-readable line per finding;
+- ``json`` — a machine-readable report on stdout (``findings`` +
+  ``warnings``), for CI artifacts;
+- ``github`` — GitHub Actions workflow commands
+  (``::error file=...``), rendered as inline annotations on the PR.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
+import time
 
 if __package__ in (None, ""):  # `python tools/repro_lint` without -m
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
 
 from tools.repro_lint.core import (  # noqa: E402
+    Finding,
     ProjectRule,
     all_rules,
     load_config,
     run_lint,
 )
 
-DEFAULT_PATHS = ("src", "tests", "benchmarks")
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples", "tools")
+
+
+def _render_text(
+    findings: list[Finding], warnings: list[str]
+) -> None:
+    for warning in warnings:
+        print(f"repro-lint: {warning}", file=sys.stderr)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        count = len(findings)
+        rules_hit = sorted({f.rule for f in findings})
+        print(
+            f"\nrepro-lint: {count} finding{'s' if count != 1 else ''} "
+            f"({', '.join(rules_hit)})"
+        )
+    else:
+        print("repro-lint: clean")
+
+
+def _render_json(
+    findings: list[Finding], warnings: list[str]
+) -> None:
+    print(
+        json.dumps(
+            {
+                "findings": [
+                    {
+                        "path": f.path,
+                        "line": f.line,
+                        "col": f.col,
+                        "rule": f.rule,
+                        "message": f.message,
+                    }
+                    for f in findings
+                ],
+                "warnings": warnings,
+            },
+            indent=2,
+        )
+    )
+
+
+def _escape_gh(value: str) -> str:
+    """Escape a workflow-command message (data part)."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+
+
+def _render_github(
+    findings: list[Finding], warnings: list[str]
+) -> None:
+    for warning in warnings:
+        print(f"::warning title=repro-lint::{_escape_gh(warning)}")
+    for f in findings:
+        location = f"file={f.path},line={f.line},col={f.col + 1}"
+        print(
+            f"::error {location},title=repro-lint/{f.rule}::"
+            f"{_escape_gh(f.message)}"
+        )
+    if findings:
+        print(f"repro-lint: {len(findings)} finding(s)")
+    else:
+        print("repro-lint: clean")
+
+
+_RENDERERS = {
+    "text": _render_text,
+    "json": _render_json,
+    "github": _render_github,
+}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -33,8 +119,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "paths",
         nargs="*",
-        default=list(DEFAULT_PATHS),
-        help="files or directories to lint (default: src tests benchmarks)",
+        default=[],
+        help=(
+            "files or directories to lint (default: [tool.repro-lint] "
+            "paths, else src tests benchmarks examples tools)"
+        ),
     )
     parser.add_argument(
         "--root",
@@ -45,6 +134,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--select",
         help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(_RENDERERS),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="fail (exit 1) if the whole run takes longer than S seconds",
     )
     parser.add_argument(
         "--no-project",
@@ -77,8 +179,10 @@ def main(argv: list[str] | None = None) -> int:
         ]
 
     root = args.root.resolve()
+    config = load_config(root)
+    raw_paths = args.paths or config.paths or list(DEFAULT_PATHS)
     paths = []
-    for p in args.paths:
+    for p in raw_paths:
         path = pathlib.Path(p)
         if not path.is_absolute():
             path = root / path
@@ -87,31 +191,31 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         paths.append(path)
 
-    errors: list[str] = []
+    started = time.monotonic()
+    warnings: list[str] = []
     try:
         findings = run_lint(
             paths,
             root,
-            config=load_config(root),
+            config=config,
             select=select,
-            on_error=errors.append,
+            on_error=warnings.append,
         )
     except ValueError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
-    for err in errors:
-        print(f"repro-lint: {err}", file=sys.stderr)
-    for finding in findings:
-        print(finding.render())
+    elapsed = time.monotonic() - started
+
+    _RENDERERS[args.format](findings, warnings)
     if findings:
-        count = len(findings)
-        rules_hit = sorted({f.rule for f in findings})
+        return 1
+    if args.max_seconds is not None and elapsed > args.max_seconds:
         print(
-            f"\nrepro-lint: {count} finding{'s' if count != 1 else ''} "
-            f"({', '.join(rules_hit)})"
+            f"repro-lint: runtime budget blown: {elapsed:.1f}s > "
+            f"--max-seconds {args.max_seconds:g}",
+            file=sys.stderr,
         )
         return 1
-    print("repro-lint: clean")
     return 0
 
 

@@ -34,7 +34,10 @@ import pathlib
 import re
 import tomllib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:
+    from tools.repro_lint.dataflow import ProjectIndex
 
 #: ``# repro-lint: disable=rule-a,rule-b`` (per line).
 _PRAGMA = re.compile(r"#\s*repro-lint:\s*disable=([\w,\- ]+)")
@@ -78,12 +81,47 @@ class SourceFile:
                 self.file_disables |= {
                     r.strip() for r in m.group(1).split(",") if r.strip()
                 }
+        # Map every line a statement occupies to the statement's first
+        # line (its first decorator, for decorated defs).  Compound
+        # statements claim only their header lines — the body belongs
+        # to the inner statements — so a pragma anywhere on a multiline
+        # call or on a decorator suppresses findings attributed to any
+        # other line of the same statement.
+        self._stmt_first: dict[int, int] = {}
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            decorators = getattr(node, "decorator_list", [])
+            first = min(
+                [node.lineno] + [d.lineno for d in decorators]
+            )
+            body = getattr(node, "body", None)
+            if isinstance(body, list) and body and isinstance(
+                body[0], ast.stmt
+            ):
+                last = body[0].lineno - 1
+            else:
+                last = node.end_lineno or node.lineno
+            for lineno in range(first, last + 1):
+                self._stmt_first[lineno] = first
 
     def suppressed(self, finding: Finding) -> bool:
         if finding.rule in self.file_disables:
             return True
         rules = self.line_disables.get(finding.line)
-        return rules is not None and finding.rule in rules
+        if rules is not None and finding.rule in rules:
+            return True
+        # Same-statement suppression: a pragma on any line of the
+        # statement (header lines only, for compound statements)
+        # covers findings reported on its other lines.
+        first = self._stmt_first.get(finding.line)
+        if first is None:
+            return False
+        return any(
+            finding.rule in disables
+            and self._stmt_first.get(pragma_line, pragma_line) == first
+            for pragma_line, disables in self.line_disables.items()
+        )
 
 
 @dataclass
@@ -92,6 +130,11 @@ class Config:
 
     root: pathlib.Path
     exclude: list[str] = field(default_factory=list)
+    #: default lint paths when the CLI gets no positional arguments.
+    paths: list[str] = field(default_factory=list)
+    #: ``[tool.repro-lint.dataflow]``: ``roots`` = package roots the
+    #: project index scans (default ``["src/repro"]``).
+    dataflow: dict[str, Any] = field(default_factory=dict)
     #: per-rule settings: ``{"paths": [...], "allow": [...], ...}``.
     rules: dict[str, dict[str, Any]] = field(default_factory=dict)
 
@@ -109,6 +152,8 @@ def load_config(root: pathlib.Path) -> Config:
     return Config(
         root=root,
         exclude=list(section.get("exclude", [])),
+        paths=list(section.get("paths", [])),
+        dataflow=dict(section.get("dataflow", {})),
         rules={
             str(name): dict(opts)
             for name, opts in section.get("rules", {}).items()
@@ -136,10 +181,36 @@ class LintContext:
     """What a rule gets to see: resolved config plus the repo root."""
 
     config: Config
+    _index: "ProjectIndex | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def root(self) -> pathlib.Path:
         return self.config.root
+
+    @property
+    def index_built(self) -> bool:
+        return self._index is not None
+
+    def project_index(self) -> "ProjectIndex":
+        """The lazily built, cached project symbol table / call graph.
+
+        Built once per lint run from the package roots in
+        ``[tool.repro-lint.dataflow] roots`` (default ``src/repro``);
+        the dataflow rules share it.
+        """
+        if self._index is None:
+            from tools.repro_lint.dataflow import (
+                DEFAULT_ROOTS,
+                ProjectIndex,
+            )
+
+            roots = tuple(
+                self.config.dataflow.get("roots", DEFAULT_ROOTS)
+            )
+            self._index = ProjectIndex.build(self.root, roots)
+        return self._index
 
 
 class Rule:
@@ -257,6 +328,9 @@ def run_lint(
             )
     for rule in project_rules:
         findings.extend(rule.check_project(ctx))
+    if ctx.index_built and on_error is not None:
+        for warning in ctx.project_index().warnings():
+            on_error(f"warning: {warning}")
     return sorted(findings)
 
 

@@ -1,10 +1,14 @@
 """Built-in repro-lint rules (importing this module registers them)."""
 
 from tools.repro_lint.rules import (  # noqa: F401
+    alias_escape,
     bench_floors,
     cache_invalidation,
+    coin_flow,
     coin_purity,
     docs_drift,
     dtype_discipline,
     hot_loop_alloc,
+    parallel_safety,
+    reduction_budget,
 )

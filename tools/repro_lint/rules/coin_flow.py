@@ -1,0 +1,144 @@
+"""coin-flow: the §2.1 stream-order contract, checked transitively.
+
+``coin-purity`` flags a *literal* draw inside a conditional branch.
+That is the right check at the call site, but the contract it protects
+is global: φ_t must be drawn for all n vertices every round in a fixed
+order, so a function that merely *calls into* drawing code from a
+data-dependent branch desynchronizes the stream just as surely as a
+literal conditional draw — the draw happens on some trajectories and
+not others.
+
+This rule closes the gap with the project call graph
+(:mod:`tools.repro_lint.dataflow`): inside every function reachable
+from a hot entry point (``run*``/``step``/``_advance*``), a call whose
+resolved targets *transitively* reach a ``CoinSource`` draw must not
+sit under an ``if``/``elif``/``else`` branch, conditional expression,
+or ``except``/``else``/``finally`` clause.  Loops are fine — that is
+the per-round loop itself.  Literal draws are left to ``coin-purity``
+(same site, better message).
+
+The dispatch is conservative: ``self.method()`` resolves to the
+statically bound definition *plus every subclass override*, so a
+conditional ``self.step()`` is flagged if any engine's ``_advance``
+draws.  Deliberate both-paths-draw patterns (e.g. an index-based fast
+path that performs the identical full-width draw) carry a
+``# repro-lint: disable=coin-flow`` pragma with the reason.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repro_lint.core import (
+    Finding,
+    LintContext,
+    Rule,
+    SourceFile,
+    dotted_name,
+    register,
+)
+from tools.repro_lint.dataflow import DRAW_METHODS, FunctionInfo
+
+
+def _short(qname: str) -> str:
+    """``repro.core.two_state.TwoStateMIS._advance`` -> class.method."""
+    return ".".join(qname.rsplit(".", 2)[-2:])
+
+
+@register
+class CoinFlowRule(Rule):
+    name = "coin-flow"
+    description = (
+        "no call that transitively reaches a CoinSource draw under a "
+        "data-dependent branch on hot paths"
+    )
+    default_paths = ("src/repro/core",)
+
+    def check(self, src: SourceFile, ctx: LintContext) -> list[Finding]:
+        index = ctx.project_index()
+        mod = index.module_for(src.rel)
+        if mod is None:
+            return []  # outside the indexed package roots
+        drawing = index.coin_reaching()
+        findings: list[Finding] = []
+        infos = list(mod.functions.values()) + [
+            m for c in mod.classes.values() for m in c.methods.values()
+        ]
+        for finfo in infos:
+            if not index.is_hot(finfo.qname):
+                continue
+            findings.extend(
+                self._conditional_transitive_draws(
+                    src, index, finfo, drawing
+                )
+            )
+        return findings
+
+    def _conditional_transitive_draws(
+        self,
+        src: SourceFile,
+        index,
+        finfo: FunctionInfo,
+        drawing: set[str],
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+
+        def flag(call: ast.Call, target: str) -> None:
+            chain = index.draw_chain(target)
+            witness = " -> ".join(_short(q) for q in chain[:4])
+            findings.append(
+                Finding(
+                    path=src.rel,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    rule=self.name,
+                    message=(
+                        f"conditional call transitively draws from the "
+                        f"coin stream ({witness}); data-dependent draws "
+                        "desynchronize the φ_t order"
+                    ),
+                )
+            )
+
+        def scan(node: ast.AST, cond_depth: int) -> None:
+            for child in ast.iter_child_nodes(node):
+                depth = cond_depth
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and node is not finfo.node:
+                    # Nested function: its body runs when *it* is called.
+                    depth = 0
+                if isinstance(node, ast.If) and child in (
+                    node.body + node.orelse
+                ):
+                    depth += 1
+                elif isinstance(node, ast.IfExp) and child in (
+                    node.body,
+                    node.orelse,
+                ):
+                    depth += 1
+                elif isinstance(node, ast.Try) and child not in node.body:
+                    depth += 1
+                if (
+                    depth > 0
+                    and isinstance(child, ast.Call)
+                    and not (
+                        isinstance(child.func, ast.Attribute)
+                        and child.func.attr in DRAW_METHODS
+                    )  # literal draws are coin-purity's finding
+                    # Only dotted callees have resolved targets; a
+                    # chained call (`coins.bits(n).copy()`) shares its
+                    # position with the inner call and must not pick
+                    # up that call's targets.
+                    and dotted_name(child.func) is not None
+                ):
+                    targets = finfo.call_targets.get(
+                        (child.lineno, child.col_offset), ()
+                    )
+                    hits = [t for t in targets if t in drawing]
+                    if hits:
+                        flag(child, hits[0])
+                scan(child, depth)
+
+        scan(finfo.node, 0)
+        return findings

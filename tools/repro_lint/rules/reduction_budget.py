@@ -1,0 +1,181 @@
+"""reduction-budget: per-round neighbour reductions stay declared.
+
+The engines' complexity story rests on counting reductions: the
+counting-backend test pins the serial engines to 2R+2 ``NeighborOps``
+reductions for an R-round run, and the frontier engines' whole point
+is *fewer* reductions per round.  That contract lives in one runtime
+test today; a refactor that slips an extra ``ops.count`` into a round
+loop passes every trajectory test (the trajectories don't change) and
+only trips the counting test if the touched engine happens to be the
+one it parameterizes.
+
+This rule checks the contract lexically, where the reader sees it.  A
+round loop declares its budget inline::
+
+    # reduction-budget: 2
+    while live.size:
+        ...
+
+(or with the comment on the loop's first line).  The rule counts the
+lexical ``NeighborOps`` reduction calls in the loop body — attribute
+calls named ``count``/``exists``/``count_batch``/``exists_batch``/
+``max_closed``/``max_closed_batch`` on an ``ops``-like receiver, plus
+any method names configured under
+``[tool.repro-lint.rules.reduction-budget] methods`` (the batched
+engines route reductions through ``self._count_nbrs``-style wrappers)
+— and fails if the count exceeds the declared budget.  A nested
+annotated loop is counted into its enclosing loop's budget as well;
+each annotation bounds its own lexical subtree.
+
+Loops *without* an annotation are flagged when they contain reductions
+and sit directly in a hot entry point (``run*``/``step``/
+``_advance*``): every round loop of an engine must say what it spends.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from tools.repro_lint.core import (
+    Finding,
+    LintContext,
+    Rule,
+    SourceFile,
+    dotted_name,
+    register,
+    walk_with_parents,
+)
+
+#: ``# reduction-budget: N`` on the loop's first line or the line above.
+_BUDGET = re.compile(r"#\s*reduction-budget:\s*(\d+)")
+
+#: The NeighborOps reduction interface.
+REDUCTION_METHODS = {
+    "count",
+    "exists",
+    "count_batch",
+    "exists_batch",
+    "max_closed",
+    "max_closed_batch",
+}
+#: Entry-point name prefixes whose loops must carry annotations.
+_RUN_PREFIXES = ("run", "_run", "step", "_advance")
+
+
+def _loop_budget(src: SourceFile, loop: ast.For | ast.While) -> int | None:
+    for lineno in (loop.lineno, loop.lineno - 1):
+        if 1 <= lineno <= len(src.lines):
+            m = _BUDGET.search(src.lines[lineno - 1])
+            if m:
+                return int(m.group(1))
+    return None
+
+
+def _is_reduction(
+    call: ast.Call, extra_methods: set[str], in_ops_class: bool
+) -> bool:
+    if not isinstance(call.func, ast.Attribute):
+        return False
+    attr = call.func.attr
+    if attr in extra_methods:
+        return True
+    if attr not in REDUCTION_METHODS:
+        return False
+    recv = dotted_name(call.func.value)
+    if recv is None:
+        return False
+    if "ops" in recv.rsplit(".", 1)[-1]:
+        return True
+    # Inside a NeighborOps backend, the reductions are self-calls.
+    return in_ops_class and recv in ("self", "cls")
+
+
+def _is_run_function(name: str) -> bool:
+    return any(
+        name == p or name.startswith(p) for p in _RUN_PREFIXES
+    )
+
+
+@register
+class ReductionBudgetRule(Rule):
+    name = "reduction-budget"
+    description = (
+        "round loops declare `# reduction-budget: N` and stay within "
+        "their lexical NeighborOps reduction count"
+    )
+    default_paths = ("src/repro/core",)
+
+    def check(self, src: SourceFile, ctx: LintContext) -> list[Finding]:
+        extra = set(
+            ctx.config.rule_option(self.name, "methods", ())
+        )
+        findings: list[Finding] = []
+        for node, ancestors in walk_with_parents(src.tree):
+            if not isinstance(node, (ast.For, ast.While)):
+                continue
+            in_ops_class = any(
+                isinstance(a, ast.ClassDef) and "ops" in a.name.lower()
+                for a in ancestors
+            )
+            count = sum(
+                1
+                for sub in ast.walk(node)
+                if isinstance(sub, ast.Call)
+                and _is_reduction(sub, extra, in_ops_class)
+            )
+            budget = _loop_budget(src, node)
+            if budget is not None:
+                if count > budget:
+                    findings.append(
+                        Finding(
+                            path=src.rel,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            rule=self.name,
+                            message=(
+                                f"loop performs {count} lexical "
+                                f"NeighborOps reductions but declares "
+                                f"`# reduction-budget: {budget}`"
+                            ),
+                        )
+                    )
+                continue
+            if count == 0:
+                continue
+            # Unannotated loop with reductions: required in hot entry
+            # points, unless an enclosing loop already accounts for it.
+            enclosing_fn = next(
+                (
+                    a
+                    for a in reversed(ancestors)
+                    if isinstance(
+                        a, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                ),
+                None,
+            )
+            if enclosing_fn is None or not _is_run_function(
+                enclosing_fn.name
+            ):
+                continue
+            covered = any(
+                isinstance(a, (ast.For, ast.While))
+                for a in ancestors
+            )
+            if covered:
+                continue  # the outermost loop carries the annotation
+            findings.append(
+                Finding(
+                    path=src.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.name,
+                    message=(
+                        f"round loop in `{enclosing_fn.name}` performs "
+                        f"{count} NeighborOps reductions without a "
+                        "`# reduction-budget: N` annotation"
+                    ),
+                )
+            )
+        return findings
