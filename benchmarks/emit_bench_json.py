@@ -12,7 +12,12 @@ one JSON file per family at the repo root, each a list of
   trials (``benchmarks/bench_batched_trials.py``);
 * ``BENCH_batched_frontier.json`` — batched frontier engine vs the
   PR 2 full-reduction batched path
-  (``benchmarks/bench_batched_frontier.py``).
+  (``benchmarks/bench_batched_frontier.py``);
+* ``BENCH_parallel.json``          — multi-core fleet sharding vs the
+  serial in-process path (``benchmarks/bench_parallel_sweep.py``);
+  its floors are *hardware-scaled* (a 1-core runner gates dispatch
+  overhead, a 4-core one gates real scaling — see
+  ``bench_parallel_sweep.scaling_floor``).
 
 Every ``workload`` string names the *exact* parameters the entry
 measured (the fast/CI workload — not the full-size acceptance workload
@@ -179,6 +184,28 @@ def batched_frontier_entries(commit: str) -> list[dict]:
     ]
 
 
+def parallel_entries(commit: str) -> list[dict]:
+    import bench_parallel_sweep as bps
+
+    results = bps.measure()
+    floor = bps.scaling_floor(bps.WORKERS, full=False)
+    label = (
+        f"{bps.TRIALS} x 2-state G(n={bps.N}, 3/n), {bps.WORKERS} shards, "
+        f"pool width {bps.resolve_n_jobs(bps.WORKERS)} "
+        f"({bps.cpu_count()} usable core(s))"
+    )
+    return [
+        entry(
+            f"fleet sharding, {name} graphs, {label}",
+            r["parallel_s"],
+            r["speedup"],
+            floor,
+            commit,
+        )
+        for name, r in results.items()
+    ]
+
+
 def main() -> None:
     commit = current_commit()
     families = {
@@ -186,6 +213,7 @@ def main() -> None:
         "BENCH_substrate.json": substrate_entries,
         "BENCH_batched.json": batched_entries,
         "BENCH_batched_frontier.json": batched_frontier_entries,
+        "BENCH_parallel.json": parallel_entries,
     }
     for filename, build in families.items():
         entries = build(commit)

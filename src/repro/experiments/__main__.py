@@ -3,8 +3,14 @@
 Usage::
 
     python -m repro.experiments list
-    python -m repro.experiments run E1 [--full] [--seed N]
-    python -m repro.experiments run all [--full] [--seed N]
+    python -m repro.experiments run E1 [--full] [--seed N] [--jobs J]
+    python -m repro.experiments run all [--full] [--seed N] [--jobs J]
+
+``--jobs`` installs a process-wide default ``n_jobs`` (see
+:mod:`repro.parallel.config`) before anything runs: every Monte-Carlo
+fleet an experiment launches is then sharded across that many workers,
+with results bitwise-identical to ``--jobs 1``.  ``--jobs auto`` uses
+every usable core.
 """
 
 from __future__ import annotations
@@ -14,6 +20,23 @@ import sys
 import time
 
 from repro.experiments.registry import list_experiments, run_experiment
+
+
+def _jobs_spec(value: str) -> int | str:
+    """Parse a ``--jobs`` argument: a positive int or ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be a positive int or 'auto', got {value!r}"
+        ) from None
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be a positive int or 'auto', got {value!r}"
+        )
+    return jobs
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -27,6 +50,11 @@ def main(argv: list[str] | None = None) -> int:
         help="full-size run (default: fast)",
     )
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--jobs", type=_jobs_spec, default=None, metavar="J",
+        help="worker processes for Monte-Carlo fleets "
+             "(int or 'auto'; default: serial)",
+    )
 
     report_parser = sub.add_parser(
         "report", help="run all experiments and write a markdown report"
@@ -34,8 +62,18 @@ def main(argv: list[str] | None = None) -> int:
     report_parser.add_argument("--out", default="report.md")
     report_parser.add_argument("--full", action="store_true")
     report_parser.add_argument("--seed", type=int, default=0)
+    report_parser.add_argument(
+        "--jobs", type=_jobs_spec, default=None, metavar="J",
+        help="worker processes for Monte-Carlo fleets "
+             "(int or 'auto'; default: serial)",
+    )
 
     args = parser.parse_args(argv)
+
+    if getattr(args, "jobs", None) is not None:
+        from repro.parallel.config import set_default_n_jobs
+
+        set_default_n_jobs(args.jobs)
 
     if args.command == "list":
         for eid, title in list_experiments():

@@ -581,6 +581,35 @@ class Graph:
         return cls._from_arrays(int(n), us, vs)
 
     @classmethod
+    def from_csr_arrays(
+        cls, n: int, m: int, indptr: np.ndarray, indices: np.ndarray
+    ) -> "Graph":
+        """Adopt existing CSR arrays without copying or re-validating.
+
+        The shared-memory attach path of :mod:`repro.parallel`: workers
+        rebuild published graphs directly over mapped segments, so the
+        arrays may be read-only views into a buffer owned by the caller
+        (who must keep that buffer alive for the graph's lifetime).
+        Only shape invariants are checked — the arrays are trusted to
+        be a valid row-sorted CSR adjacency as another :class:`Graph`
+        produced them (``indices`` holds both directions of each edge,
+        hence length ``2m``).
+        """
+        if n < 0 or m < 0:
+            raise ValueError("n and m must be >= 0")
+        if indptr.shape != (n + 1,):
+            raise ValueError(
+                f"indptr must have shape ({n + 1},), got {indptr.shape}"
+            )
+        if indices.shape != (2 * m,):
+            raise ValueError(
+                f"indices must have shape ({2 * m},), got {indices.shape}"
+            )
+        graph = cls.__new__(cls)
+        graph.__setstate__((int(n), int(m), indptr, indices))
+        return graph
+
+    @classmethod
     def from_adjacency(cls, adj: Sequence[Iterable[int]]) -> "Graph":
         """Build a graph from an adjacency-list representation.
 

@@ -1,0 +1,82 @@
+"""Master/worker fleet execution over zero-copy shared-memory graphs.
+
+The multi-core path of the Monte-Carlo layer (the ROADMAP's
+master/worker open item, in the Ganeti-jqueue mold):
+
+* :mod:`~repro.parallel.shared_graph` — publish every distinct graph
+  of a fleet once into a POSIX shared-memory segment; workers rebuild
+  them as read-only numpy views over one mmap (zero copies), with
+  unlink-on-exit hygiene on every path.
+* :mod:`~repro.parallel.jobs` — the swap pickler that replaces graph /
+  CSR / NeighborOps references with tokens, plus the
+  :class:`JobQueue` job-spec transport that replaced factory pickling.
+* :mod:`~repro.parallel.pool` — the persistent :class:`WorkerPool`
+  (crash detection, stop sentinels, ``n_jobs`` resolution).
+* :mod:`~repro.parallel.worker` — the dumb module-level worker loop.
+* :mod:`~repro.parallel.fleet` — replica-range sharding and state
+  writeback; bitwise-identical to the serial path for any worker
+  count or shard boundaries.
+* :mod:`~repro.parallel.config` — a process-wide default ``n_jobs``
+  for entry points (``python -m repro.experiments run E4 --jobs
+  auto``).
+
+Users normally never import this package directly: pass
+``n_jobs="auto"`` (or an int) to
+:func:`repro.sim.runner.run_many_until_stable`,
+:func:`repro.sim.montecarlo.estimate_stabilization_time`, or
+:func:`repro.sim.montecarlo.sweep_stabilization_times`.
+"""
+
+from repro.parallel.config import (
+    default_n_jobs,
+    get_default_n_jobs,
+    set_default_n_jobs,
+)
+from repro.parallel.fleet import (
+    adopt_state,
+    fleet_shards,
+    run_fleet_sharded,
+    shard_ranges,
+)
+from repro.parallel.jobs import (
+    GraphRegistry,
+    JobQueue,
+    ShardJob,
+    ShardResult,
+)
+from repro.parallel.pool import (
+    WorkerCrashError,
+    WorkerPool,
+    cpu_count,
+    resolve_n_jobs,
+)
+from repro.parallel.shared_graph import (
+    AttachedGraphStore,
+    SharedGraphHandle,
+    SharedGraphStore,
+    leaked_segments,
+)
+from repro.parallel.worker import worker_main
+
+__all__ = [
+    "AttachedGraphStore",
+    "GraphRegistry",
+    "JobQueue",
+    "SharedGraphHandle",
+    "SharedGraphStore",
+    "ShardJob",
+    "ShardResult",
+    "WorkerCrashError",
+    "WorkerPool",
+    "adopt_state",
+    "cpu_count",
+    "default_n_jobs",
+    "fleet_shards",
+    "get_default_n_jobs",
+    "leaked_segments",
+    "resolve_n_jobs",
+    "run_fleet_sharded",
+    "set_default_n_jobs",
+    "shard_ranges",
+    "worker_main",
+]

@@ -1,0 +1,154 @@
+"""Master-side fleet sharding.
+
+This is the dispatch target behind ``run_many_until_stable(...,
+n_jobs=...)``: split a fleet of R independent replicas into contiguous
+per-worker ranges, publish the distinct graphs once
+(:class:`~repro.parallel.shared_graph.SharedGraphStore`), feed the
+shards through a :class:`~repro.parallel.jobs.JobQueue`, and graft each
+worker's final process state back onto the caller's original objects.
+
+Determinism contract: every replica owns an independent coin stream
+and the batched engines guarantee per-replica trajectories independent
+of groupmates, so the results are **bitwise-identical to the serial
+path for any worker count and any shard boundaries** — sharding is a
+pure wall-clock knob.  The shard count equals the *requested*
+``n_jobs`` (machine-independent); only the pool width is clamped to
+the usable CPUs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.graphs.graph import Graph
+from repro.parallel.jobs import GraphRegistry, JobQueue, ShardJob
+from repro.parallel.pool import WorkerPool, resolve_n_jobs
+from repro.parallel.shared_graph import SharedGraphStore
+
+if TYPE_CHECKING:
+    from repro.core.process import MISProcess
+    from repro.sim.runner import RunResult
+
+
+def shard_ranges(count: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``count`` items into at most ``shards`` contiguous ranges.
+
+    Ranges are near-equal (sizes differ by at most one), cover
+    ``[0, count)`` in order, and are never empty — fewer than ``shards``
+    ranges come back when there are fewer items than shards.
+    """
+    if count <= 0:
+        return []
+    shards = max(1, min(shards, count))
+    base, extra = divmod(count, shards)
+    ranges: list[tuple[int, int]] = []
+    lo = 0
+    for i in range(shards):
+        hi = lo + base + (1 if i < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def fleet_shards(n_jobs: int | str | None, pool: WorkerPool | None) -> int:
+    """Shard count implied by an ``n_jobs`` spec and/or an explicit pool.
+
+    An explicit ``n_jobs`` wins (unclamped — shard shapes are
+    machine-independent); with only a pool given, one shard per worker.
+    """
+    if n_jobs is not None:
+        return resolve_n_jobs(n_jobs, clamp=False)
+    return pool.workers if pool is not None else 1
+
+
+def adopt_state(target: MISProcess, source: MISProcess) -> None:
+    """Graft a worker-final process's state onto the master's object.
+
+    The caller keeps its object identity (references to the process
+    stay valid); the whole ``__dict__`` is swapped — the process
+    classes keep all state there (none defines ``__slots__``), and the
+    unpickled source already references the master's own graph and ops
+    through the swap tokens of :mod:`repro.parallel.jobs`.
+    """
+    if type(target) is not type(source):
+        raise TypeError(
+            f"cannot adopt {type(source).__name__} state into "
+            f"{type(target).__name__}"
+        )
+    target.__dict__.clear()
+    target.__dict__.update(source.__dict__)
+
+
+def run_fleet_sharded(
+    processes: Sequence[MISProcess],
+    *,
+    max_rounds: int,
+    verify: bool,
+    batch: str | int | None,
+    engine: str,
+    n_jobs: int | str | None,
+    pool: WorkerPool | None = None,
+) -> list[RunResult]:
+    """Run a fleet sharded across worker processes.
+
+    The parallel twin of :func:`~repro.sim.runner.run_many_until_stable`
+    (which is the only intended caller): identical signature semantics,
+    identical results, with replicas advanced in worker processes.  On
+    return, every process in ``processes`` holds its post-run state
+    exactly as the serial path would have left it.
+
+    ``pool=None`` spins up a private pool of ``min(shards,
+    resolve_n_jobs(n_jobs))`` workers and closes it before returning;
+    passing a persistent pool amortizes worker startup across calls
+    (the sweep path does).  The published graph store is unlinked on
+    every exit path, including worker crashes.
+    """
+    processes = list(processes)
+    shards = shard_ranges(len(processes), fleet_shards(n_jobs, pool))
+    graphs: list[Graph] = []
+    seen: set[int] = set()  # id()-dedup: Graph.__eq__ is O(m)
+    for process in processes:
+        if id(process.graph) not in seen:
+            seen.add(id(process.graph))
+            graphs.append(process.graph)
+    registry = GraphRegistry(graphs)
+    for process in processes:
+        registry.register_ops(process.ops)
+    own_pool = pool is None
+    submitted: list[tuple[int, tuple[int, int]]] = []
+    with SharedGraphStore(graphs) as store:
+        try:
+            if pool is None:
+                pool = WorkerPool(
+                    min(len(shards), resolve_n_jobs(n_jobs))
+                )
+            queue = JobQueue(pool)
+            for lo, hi in shards:
+                job_id = queue.submit(
+                    ShardJob(
+                        indices=(lo, hi),
+                        payload=registry.dumps(processes[lo:hi]),
+                        handle=store.handle,
+                        max_rounds=max_rounds,
+                        verify=verify,
+                        batch=batch,
+                        engine=engine,
+                    )
+                )
+                submitted.append((job_id, (lo, hi)))
+            outcomes = queue.wait_all()
+        finally:
+            if own_pool and pool is not None:
+                pool.close()
+    results: list[RunResult | None] = [None] * len(processes)
+    for job_id, (lo, hi) in submitted:
+        shard_results, shard_processes = registry.loads(
+            outcomes[job_id].payload
+        )
+        for offset, final in enumerate(shard_processes):
+            adopt_state(processes[lo + offset], final)
+            results[lo + offset] = shard_results[offset]
+    missing = [i for i, result in enumerate(results) if result is None]
+    if missing:  # pragma: no cover - collect() already raises
+        raise RuntimeError(f"shard results missing for replicas {missing}")
+    return [result for result in results if result is not None]

@@ -1,0 +1,73 @@
+"""Worker-process entry point.
+
+Deliberately dumb, in the Ganeti-jqueue mold: a worker loops on the
+task queue, runs each shard with the ordinary in-process engines, and
+ships results back.  All policy — sharding, shared-memory lifecycle,
+result writeback — lives with the master.
+
+:func:`worker_main` is a module-level function taking only its queues
+(no closure captures, no module-global mutation), as the repro-lint
+``parallel-safety`` rule requires of pool entry points.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any
+
+
+def _run_shard(registry: Any, job: Any) -> Any:
+    """Run one shard job against an attached registry.
+
+    A separate function so every reference to the shard's processes —
+    whose arrays view the shared mapping — dies on return; the worker
+    can then unmap its cached store cleanly when the master publishes a
+    new segment.
+    """
+    from repro.parallel.jobs import ShardResult
+    from repro.sim.runner import run_many_until_stable
+
+    processes = registry.loads(job.payload)
+    shard_results = run_many_until_stable(
+        processes,
+        max_rounds=job.max_rounds,
+        verify=job.verify,
+        batch=job.batch,
+        engine=job.engine,
+        n_jobs=1,  # a worker never recurses into its own pool
+    )
+    return ShardResult(job.indices, registry.dumps((shard_results, processes)))
+
+
+def worker_main(tasks: Any, results: Any) -> None:
+    """Execute shard jobs from ``tasks`` until a ``None`` sentinel.
+
+    The worker caches one attached graph store: consecutive jobs
+    against the same published segment — every shard of a fleet, every
+    point of a sweep — share a single mmap.  Exceptions are caught and
+    shipped back as ``(job_id, "error", traceback)`` so the worker
+    survives bad jobs; only a hard death (signal, ``os._exit``) kills
+    it, which the master's liveness polling detects.
+    """
+    from repro.parallel.jobs import GraphRegistry
+
+    store = None
+    registry = None
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        job_id, job = task
+        try:
+            if store is None or store.handle.segment != job.handle.segment:
+                registry = None  # release view refs before unmapping
+                if store is not None:
+                    store.close()
+                store = job.handle.attach()
+                registry = GraphRegistry(store.graphs)
+            results.put((job_id, "ok", _run_shard(registry, job)))
+        except Exception:
+            results.put((job_id, "error", traceback.format_exc()))
+    registry = None
+    if store is not None:
+        store.close()

@@ -14,9 +14,17 @@ with the randomized switch, independently-scheduled — see the dispatch
 table) advance together as one state matrix.  Per-trial results are
 bitwise-identical to ``batch=None``; non-batchable processes (oracle
 switches, single-vertex daemons, reference implementations, ...)
-silently take the serial path.  ``sweep_stabilization_times`` adds an
-opt-in ``n_jobs`` process pool across grid points for multi-core
-sweeps.
+silently take the serial path.
+
+Multi-core execution goes through :mod:`repro.parallel`:
+``estimate_stabilization_time(n_jobs=...)`` shards each trial fleet
+into per-worker replica ranges against shared-memory graph views
+(statistics bitwise-identical to serial for any worker count), and
+``sweep_stabilization_times`` dispatches every grid point's fleet
+through one persistent worker pool by default (``dispatch="fleet"``) —
+the factory never crosses a process boundary, so lambdas and closures
+parallelize like everything else.  The legacy per-grid-point pool
+(``dispatch="points"``) remains for picklable factories.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ import pickle
 import warnings
 from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 from scipy import stats as scipy_stats
@@ -37,6 +45,9 @@ from repro.sim.runner import (
     run_until_stable,
     validate_batch,
 )
+
+if TYPE_CHECKING:
+    from repro.parallel.pool import WorkerPool
 
 
 @dataclass
@@ -129,6 +140,8 @@ def estimate_stabilization_time(
     seed: int | None = 0,
     batch: str | int | None = "auto",
     engine: str = "auto",
+    n_jobs: int | str | None = None,
+    pool: WorkerPool | None = None,
 ) -> TrialStats:
     """Run independent trials and collect stabilization times.
 
@@ -167,6 +180,15 @@ def estimate_stabilization_time(
         back to full reductions on bulky rounds.  Statistics are
         identical across engines; serial-path trials use the
         process's own ``engine`` setting.
+    n_jobs, pool:
+        Multi-core fleet sharding, forwarded to
+        :func:`~repro.sim.runner.run_many_until_stable`: the whole
+        trial fleet is built up front (the in-process chunked path
+        instead bounds live state at one ``batch`` chunk) and its
+        replicas are sharded across persistent workers.  Statistics
+        are bitwise-identical for any worker count.  Factories that
+        produce non-batchable processes ignore ``n_jobs`` and stay on
+        the in-process serial loop.
     """
     from repro.core.batched import batchable
     from repro.core.frontier import resolve_engine
@@ -192,7 +214,32 @@ def estimate_stabilization_time(
         probe = process_factory(seeds[0])
         if not batchable(probe):
             batch = None  # the batched engine cannot help this factory
-    if batch is None:
+
+    use_fleet = False
+    if batch is not None and trials >= 2:
+        spec = n_jobs
+        if spec is None and pool is None:
+            from repro.parallel.config import get_default_n_jobs
+
+            spec = get_default_n_jobs()
+        if spec not in (None, 1) or pool is not None:
+            from repro.parallel.fleet import fleet_shards
+
+            use_fleet = fleet_shards(spec, pool) >= 2
+            n_jobs = spec
+    if use_fleet:
+        processes = [probe] + [process_factory(s) for s in seeds[1:]]
+        record(
+            run_many_until_stable(
+                processes,
+                max_rounds=max_rounds,
+                batch=batch,
+                engine=engine,
+                n_jobs=n_jobs,
+                pool=pool,
+            )
+        )
+    elif batch is None:
         for i, trial_seed in enumerate(seeds):
             process = probe if i == 0 and probe is not None else (
                 process_factory(trial_seed)
@@ -274,8 +321,17 @@ class SweepResult(Mapping):
         return f"SweepResult({self.entries!r})"
 
 
-def _sweep_point(payload: tuple) -> TrialStats:
-    """Evaluate one grid point (module-level so process pools can pickle it)."""
+def _sweep_point(
+    payload: tuple,
+    n_jobs: int | str | None = None,
+    pool: WorkerPool | None = None,
+) -> TrialStats:
+    """Evaluate one grid point (module-level so process pools can pickle it).
+
+    The legacy ``dispatch="points"`` path maps this over a stock pool
+    with the payload alone; the fleet path calls it in-process with the
+    persistent pool, sharding each point's replicas instead.
+    """
     make_factory, point, trials, budget, point_seed, batch, engine = payload
     return estimate_stabilization_time(
         make_factory(point),
@@ -284,6 +340,8 @@ def _sweep_point(payload: tuple) -> TrialStats:
         seed=point_seed,
         batch=batch,
         engine=engine,
+        n_jobs=n_jobs,
+        pool=pool,
     )
 
 
@@ -295,7 +353,8 @@ def sweep_stabilization_times(
     seed: int | None = 0,
     batch: str | int | None = "auto",
     engine: str = "auto",
-    n_jobs: int | None = None,
+    n_jobs: int | str | None = None,
+    dispatch: str = "fleet",
 ) -> SweepResult:
     """Estimate stabilization times over a parameter grid.
 
@@ -321,19 +380,32 @@ def sweep_stabilization_times(
         Aggregate engine for the batched chunks at every grid point
         (see :func:`estimate_stabilization_time`).
     n_jobs:
-        Opt-in process-pool width across *grid points*.  ``None`` or
-        ``1`` evaluates points in-process; ``>= 2`` fans points out to a
-        ``ProcessPoolExecutor``, which requires ``make_factory`` to be
-        picklable.  Unpicklable factories (local lambdas/closures) are
-        detected up front and fall back to the in-process path with a
-        :class:`RuntimeWarning` instead of crashing mid-sweep.  Results
-        are identical either way.
+        Multi-core width (``"auto"`` = every usable core).  ``None``
+        defers to the process-wide default of
+        :mod:`repro.parallel.config`; ``1`` (or a resolved 1) runs
+        fully in-process.  Results are identical in every mode.
+    dispatch:
+        How ``n_jobs >= 2`` parallelizes.  ``"fleet"`` (default)
+        evaluates grid points in order, sharding each point's *trial
+        fleet* across one persistent worker pool reused for the whole
+        sweep — ``make_factory`` never crosses a process boundary, so
+        lambdas and closures parallelize and nothing ever silently
+        degrades.  ``"points"`` is the legacy path: whole grid points
+        fan out to a ``ProcessPoolExecutor`` (width clamped to the CPU
+        count), which requires ``make_factory`` to be picklable;
+        unpicklable factories are detected up front and fall back to
+        the in-process path with a :class:`RuntimeWarning` — that
+        warning is now exclusive to this legacy path.
 
     Returns
     -------
     SweepResult — a mapping from grid point to :class:`TrialStats`,
     with ``.entries`` carrying one result per grid entry.
     """
+    if dispatch not in ("fleet", "points"):
+        raise ValueError(
+            f"dispatch must be 'fleet' or 'points', got {dispatch!r}"
+        )
     point_seeds = spawn_seeds(seed, len(grid))
     payloads = []
     for point, point_seed in zip(grid, point_seeds):
@@ -341,18 +413,38 @@ def sweep_stabilization_times(
         payloads.append(
             (make_factory, point, trials, budget, point_seed, batch, engine)
         )
-    use_pool = n_jobs is not None and n_jobs >= 2
+    if n_jobs is None:
+        from repro.parallel.config import get_default_n_jobs
+
+        n_jobs = get_default_n_jobs()
+    shards = 1
+    if n_jobs is not None:
+        from repro.parallel.pool import resolve_n_jobs
+
+        shards = resolve_n_jobs(n_jobs, clamp=False)
+    if shards >= 2 and dispatch == "fleet":
+        from repro.parallel.pool import WorkerPool, resolve_n_jobs
+
+        with WorkerPool(min(shards, resolve_n_jobs(n_jobs))) as pool:
+            stats = [
+                _sweep_point(payload, n_jobs=n_jobs, pool=pool)
+                for payload in payloads
+            ]
+        return SweepResult(list(grid), stats)
+    use_pool = shards >= 2
     if use_pool:
-        # A ProcessPoolExecutor pickles each payload; a lambda/closure
-        # make_factory would raise PicklingError from deep inside the
-        # pool, so probe up front and degrade gracefully.
+        # The legacy path: a ProcessPoolExecutor pickles each payload;
+        # a lambda/closure make_factory would raise PicklingError from
+        # deep inside the pool, so probe up front and degrade
+        # gracefully (dispatch="fleet" has no such constraint).
         try:
             pickle.dumps(make_factory)
         except (pickle.PicklingError, AttributeError, TypeError) as exc:
             warnings.warn(
                 f"make_factory is not picklable ({exc}); evaluating the "
                 "sweep in-process (n_jobs ignored). Use a module-level "
-                "factory function to enable the process pool.",
+                "factory function, or dispatch='fleet', to enable the "
+                "process pool.",
                 RuntimeWarning,
                 stacklevel=2,
             )
@@ -360,8 +452,12 @@ def sweep_stabilization_times(
     if use_pool:
         from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            stats = list(pool.map(_sweep_point, payloads))
+        from repro.parallel.pool import resolve_n_jobs
+
+        with ProcessPoolExecutor(
+            max_workers=resolve_n_jobs(n_jobs)
+        ) as executor:
+            stats = list(executor.map(_sweep_point, payloads))
     else:
         stats = [_sweep_point(payload) for payload in payloads]
     return SweepResult(list(grid), stats)

@@ -35,6 +35,7 @@ from repro.sim.trace import Trace, TraceRecorder
 
 if TYPE_CHECKING:
     from repro.core.process import MISProcess
+    from repro.parallel.pool import WorkerPool
 
 
 @dataclass
@@ -160,6 +161,8 @@ def run_many_until_stable(
     verify: bool = True,
     batch: str | int | None = "auto",
     engine: str = "auto",
+    n_jobs: int | str | None = None,
+    pool: WorkerPool | None = None,
 ) -> list[RunResult]:
     """Run many independent processes to stabilization, batching when possible.
 
@@ -191,6 +194,23 @@ def run_many_until_stable(
         replica per round at the volume crossover.  A pure performance
         knob — results are bitwise-identical.  Processes on the serial
         fallback use their own ``engine`` setting.
+    n_jobs:
+        Multi-core fleet sharding (see :mod:`repro.parallel`): ``None``
+        defers to the process-wide default
+        (:func:`repro.parallel.config.get_default_n_jobs`, itself
+        ``None`` = serial), ``"auto"`` uses every usable core, an int
+        requests that many shards (pool width is clamped to the CPU
+        count; the shard count is honored verbatim).  Replicas are
+        split into contiguous ranges, each executed by a persistent
+        worker against shared-memory graph views — results and final
+        process states are **bitwise-identical to the serial path for
+        any worker count**, because every replica's coin stream is
+        independent.
+    pool:
+        An existing :class:`repro.parallel.pool.WorkerPool` to reuse
+        (amortizes worker startup across calls); implies parallel
+        dispatch with one shard per worker unless ``n_jobs`` says
+        otherwise.
 
     Returns
     -------
@@ -203,6 +223,25 @@ def run_many_until_stable(
     processes = list(processes)
     validate_batch(batch)
     resolve_engine(engine)
+
+    if n_jobs is None and pool is None:
+        from repro.parallel.config import get_default_n_jobs
+
+        n_jobs = get_default_n_jobs()
+    if (n_jobs is not None and n_jobs != 1) or pool is not None:
+        from repro.parallel.fleet import fleet_shards, run_fleet_sharded
+
+        if len(processes) >= 2 and fleet_shards(n_jobs, pool) >= 2:
+            return run_fleet_sharded(
+                processes,
+                max_rounds=max_rounds,
+                verify=verify,
+                batch=batch,
+                engine=engine,
+                n_jobs=n_jobs,
+                pool=pool,
+            )
+
     results: list[RunResult | None] = [None] * len(processes)
 
     groups: dict[tuple[type, int], list[int]] = {}

@@ -487,12 +487,50 @@ def test_parallel_safety_flags_local_def_and_bound_method(tmp_path):
 
 
 def test_parallel_safety_flags_lambda_at_n_jobs_site(tmp_path):
+    # A generic callee advertising n_jobs still pickles its callables.
+    findings = lint_source(
+        tmp_path,
+        """
+        def run_sweep(grid):
+            return some_external_sweep(
+                lambda s: make(s), grid, n_jobs=4
+            )
+        """,
+        "parallel-safety",
+    )
+    assert len(findings) == 1
+    assert "n_jobs" in findings[0].message
+
+
+def test_parallel_safety_exempts_fleet_dispatch_callees(tmp_path):
+    # The repro.parallel fleet entry points shard replicas in-process:
+    # lambdas/closures never cross the pickle boundary there.
+    findings = lint_source(
+        tmp_path,
+        """
+        def run_sweep(grid):
+            def factory(seed):
+                return make(seed)
+
+            a = sweep_stabilization_times(
+                lambda n: make(n), grid, n_jobs=4
+            )
+            b = estimate_stabilization_time(factory, 8, 100, n_jobs=2)
+            return a, b
+        """,
+        "parallel-safety",
+    )
+    assert findings == []
+
+
+def test_parallel_safety_flags_legacy_points_dispatch(tmp_path):
+    # dispatch="points" opts back into the pickling executor path.
     findings = lint_source(
         tmp_path,
         """
         def run_sweep(grid):
             return sweep_stabilization_times(
-                lambda s: make(s), grid, n_jobs=4
+                lambda n: make(n), grid, n_jobs=4, dispatch="points"
             )
         """,
         "parallel-safety",

@@ -7,12 +7,15 @@ silent failure modes:
 
 1. **Unpicklable work units.**  Lambdas, closures, locally defined
    functions/classes and bound methods cannot cross the pickle
-   boundary.  Today's sweep degrades to serial with a warning when the
-   probe pickle fails — correct but easy to miss; new call sites may
-   not even probe.  This rule flags them *statically* at the call
-   site: arguments in worker position at pool/executor calls
-   (``pool.map``, ``executor.submit``, ``Process(target=...)``) and
-   callables passed alongside an ``n_jobs=`` keyword.
+   boundary.  This rule flags them *statically* at the call site:
+   arguments in worker position at pool/executor calls (``pool.map``,
+   ``executor.submit``, ``Process(target=...)``) and callables passed
+   alongside an ``n_jobs=`` keyword.  The fleet-dispatch entry points
+   of :mod:`repro.parallel` (:data:`_FLEET_SAFE_CALLEES`) are exempt:
+   their ``n_jobs`` shards *replicas* in-process and the callable
+   never crosses the boundary — except on the sweep's explicit legacy
+   ``dispatch="points"`` path, which still fans whole payloads
+   (factory included) into a stock executor and stays flagged.
 
 2. **Worker-side module-global mutation.**  A worker process runs in a
    *copy* of the module: mutating a module-level binding there is lost
@@ -57,6 +60,33 @@ _POOL_METHODS = {
 _WORKER_CTORS = {"Process", "Pool", "ProcessPoolExecutor", "ThreadPoolExecutor"}
 #: Keyword arguments that carry callables across the boundary.
 _WORKER_KWARGS = {"target", "func", "function", "initializer"}
+#: Callees whose ``n_jobs`` shards replicas in-process (the
+#: repro.parallel fleet dispatch): callable arguments stay on the
+#: master side, so closures and lambdas are safe — except under the
+#: sweep's legacy ``dispatch="points"`` (see :func:`_dispatches_points`).
+_FLEET_SAFE_CALLEES = {
+    "run_many_until_stable",
+    "estimate_stabilization_time",
+    "sweep_stabilization_times",
+    "run_fleet_sharded",
+    "_sweep_point",
+}
+
+
+def _dispatches_points(call: ast.Call) -> bool:
+    """Whether a fleet-safe call opts into the legacy points path.
+
+    A missing ``dispatch=`` means the fleet default; any value other
+    than the literal ``"fleet"`` (including a dynamic expression) is
+    treated as the pickling path, erring toward a finding.
+    """
+    for kw in call.keywords:
+        if kw.arg == "dispatch":
+            value = kw.value
+            return not (
+                isinstance(value, ast.Constant) and value.value == "fleet"
+            )
+    return False
 
 
 def _receiver_is_pool(func: ast.Attribute) -> bool:
@@ -159,6 +189,12 @@ class ParallelSafetyRule(Rule):
                 if kw.arg in _WORKER_KWARGS
             )
         elif any(kw.arg == "n_jobs" for kw in call.keywords):
+            callee = dotted_name(call.func)
+            base = callee.rsplit(".", 1)[-1] if callee is not None else None
+            if base in _FLEET_SAFE_CALLEES and not _dispatches_points(call):
+                # Fleet dispatch: replicas are sharded in-process and
+                # the callable never crosses the pickle boundary.
+                return []
             # A function advertising parallelism: every callable
             # argument may end up on the worker side.
             site = "call with `n_jobs=`"
