@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast lint repro-lint typecheck docs check-docs bench bench-batched bench-families bench-substrate bench-frontier bench-batched-frontier bench-parallel bench-fast check-bench bench-smoke ci
+.PHONY: test test-fast lint repro-lint typecheck docs check-docs bench bench-batched bench-families bench-substrate bench-frontier bench-batched-frontier bench-parallel bench-fast check-bench bench-smoke doctor chaos-smoke ci
 
 test:            ## full test suite (tier-1 gate)
 	$(PYTHON) -m pytest -x -q
@@ -60,7 +60,13 @@ bench-fast:      ## fast-mode speedups -> BENCH_*.json at repo root
 check-bench:     ## fail if any BENCH_*.json entry regresses its speedup floor
 	$(PYTHON) tools/check_bench.py
 
-ci: lint test check-docs bench-smoke   ## what the CI workflow runs
+doctor:          ## parallel-substrate self-check (spawn/crash/respawn, shm hygiene)
+	$(PYTHON) -m repro.parallel --doctor
+
+chaos-smoke:     ## seeded kill/hang/poison resilience matrix at 2 and 4 workers
+	$(PYTHON) -m repro.parallel --chaos-smoke --workers 2 4
+
+ci: lint test check-docs bench-smoke doctor chaos-smoke   ## what the CI workflow runs
 
 bench-smoke:     ## CI-scale regression smoke (batched engines, substrate, frontier, fleet sharding, E19)
 	BENCH_FAST=1 $(PYTHON) benchmarks/bench_batched_families.py

@@ -4,13 +4,25 @@ Usage::
 
     python -m repro.experiments list
     python -m repro.experiments run E1 [--full] [--seed N] [--jobs J]
+                                       [--checkpoint DIR] [--resume]
     python -m repro.experiments run all [--full] [--seed N] [--jobs J]
+                                        [--checkpoint DIR] [--resume]
 
 ``--jobs`` installs a process-wide default ``n_jobs`` (see
 :mod:`repro.parallel.config`) before anything runs: every Monte-Carlo
 fleet an experiment launches is then sharded across that many workers,
 with results bitwise-identical to ``--jobs 1``.  ``--jobs auto`` uses
 every usable core.
+
+``--checkpoint DIR`` journals every Monte-Carlo campaign into ``DIR``
+as it runs (see :mod:`repro.sim.checkpoint`): each completed shard,
+chunk, trial, and grid point is persisted atomically the moment it
+finishes.  ``--resume`` replays existing journals, so an interrupted
+``run all`` picks up mid-campaign and produces bitwise-identical
+results; without ``--resume`` the journals are started fresh.  A
+SIGTERM backstop (:func:`repro.parallel.install_signal_backstop`) is
+installed either way, so preempted runs strand no worker processes or
+``/dev/shm`` segments.
 """
 
 from __future__ import annotations
@@ -39,6 +51,32 @@ def _jobs_spec(value: str) -> int | str:
     return jobs
 
 
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=_jobs_spec, default=None, metavar="J",
+        help="worker processes for Monte-Carlo fleets "
+             "(int or 'auto'; default: serial)",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="journal every Monte-Carlo campaign into DIR as it runs",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from existing journals in --checkpoint DIR "
+             "(default: start the journals fresh)",
+    )
+
+
+def _run_one(eid: str, *, fast: bool, seed: int):
+    """Run one experiment under its checkpoint scope."""
+    from repro.sim.checkpoint import checkpoint_scope
+
+    with checkpoint_scope(eid):
+        return run_experiment(eid, fast=fast, seed=seed)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.experiments")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -49,36 +87,41 @@ def main(argv: list[str] | None = None) -> int:
         "--full", action="store_true",
         help="full-size run (default: fast)",
     )
-    run_parser.add_argument("--seed", type=int, default=0)
-    run_parser.add_argument(
-        "--jobs", type=_jobs_spec, default=None, metavar="J",
-        help="worker processes for Monte-Carlo fleets "
-             "(int or 'auto'; default: serial)",
-    )
+    _add_execution_flags(run_parser)
 
     report_parser = sub.add_parser(
         "report", help="run all experiments and write a markdown report"
     )
     report_parser.add_argument("--out", default="report.md")
     report_parser.add_argument("--full", action="store_true")
-    report_parser.add_argument("--seed", type=int, default=0)
-    report_parser.add_argument(
-        "--jobs", type=_jobs_spec, default=None, metavar="J",
-        help="worker processes for Monte-Carlo fleets "
-             "(int or 'auto'; default: serial)",
-    )
+    _add_execution_flags(report_parser)
 
     args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for eid, title in list_experiments():
+            print(f"{eid:>4}  {title}")
+        return 0
+
+    # Interrupt hygiene: a SIGTERM'd campaign (scheduler preemption,
+    # timeout(1)) must strand no workers or /dev/shm segments.
+    from repro.parallel.pool import install_signal_backstop
+
+    install_signal_backstop()
 
     if getattr(args, "jobs", None) is not None:
         from repro.parallel.config import set_default_n_jobs
 
         set_default_n_jobs(args.jobs)
 
-    if args.command == "list":
-        for eid, title in list_experiments():
-            print(f"{eid:>4}  {title}")
-        return 0
+    if getattr(args, "resume", False) and not getattr(
+        args, "checkpoint", None
+    ):
+        parser.error("--resume requires --checkpoint DIR")
+    if getattr(args, "checkpoint", None) is not None:
+        from repro.sim.checkpoint import set_default_checkpoint_dir
+
+        set_default_checkpoint_dir(args.checkpoint, resume=args.resume)
 
     if args.command == "report":
         import pathlib
@@ -87,7 +130,7 @@ def main(argv: list[str] | None = None) -> int:
         any_failed = False
         for eid, title in list_experiments():
             start = time.time()
-            result = run_experiment(eid, fast=not args.full, seed=args.seed)
+            result = _run_one(eid, fast=not args.full, seed=args.seed)
             elapsed = time.time() - start
             any_failed |= not result.passed
             status = "PASS" if result.passed else "FAIL"
@@ -112,7 +155,7 @@ def main(argv: list[str] | None = None) -> int:
     any_failed = False
     for eid in ids:
         start = time.time()
-        result = run_experiment(eid, fast=not args.full, seed=args.seed)
+        result = _run_one(eid, fast=not args.full, seed=args.seed)
         elapsed = time.time() - start
         print(result.report())
         print(f"\n({eid} completed in {elapsed:.1f}s, "

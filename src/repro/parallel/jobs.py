@@ -172,6 +172,10 @@ class ShardJob:
     verify: bool
     batch: str | int | None
     engine: str
+    #: Supervision bookkeeping: which dispatch attempt this is (the
+    #: SupervisedPool bumps it on every re-dispatch; the chaos policy
+    #: keys faults on it).  The payload never changes across attempts.
+    attempt: int = 0
 
 
 @dataclass

@@ -21,9 +21,13 @@ and the Monte-Carlo layer expose.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
 import os
 import queue as queue_mod
+import signal
+import warnings
+import weakref
 from types import TracebackType
 from typing import Any, Iterable
 
@@ -35,9 +39,113 @@ _POLL_INTERVAL = 0.1
 #: Seconds to wait for a worker to honor its stop sentinel.
 _JOIN_TIMEOUT = 5.0
 
+#: Prefix of every worker process name — filterable in ``ps`` output
+#: and ``multiprocessing.active_children()`` (the doctor CLI and the
+#: interrupt-hygiene regression tests rely on it).
+WORKER_NAME_PREFIX = "repro-worker-"
+
+#: Every open pool (WorkerPool and SupervisedPool alike) registers
+#: here so the atexit/SIGTERM backstop can close stragglers — the
+#: Ctrl-C hygiene contract: no teardown path may strand workers or
+#: queues, even when the owner never reaches its ``finally``.
+_LIVE_POOLS: "weakref.WeakSet[Any]" = weakref.WeakSet()
+
 
 class WorkerCrashError(RuntimeError):
     """A worker died without returning its job's result."""
+
+
+def shutdown_processes(
+    procs: Iterable[Any], join_timeout: float = _JOIN_TIMEOUT
+) -> list[Any]:
+    """Stop processes with escalation: join → terminate → kill.
+
+    Each stage waits ``join_timeout`` seconds before escalating; the
+    returned list holds processes that out-lived even ``kill()`` (on
+    Linux effectively only unreapable zombies stuck in the kernel) —
+    callers report them instead of silently leaking.
+    """
+    procs = list(procs)
+    for proc in procs:
+        proc.join(timeout=join_timeout)
+    survivors = [p for p in procs if p.is_alive()]
+    for proc in survivors:
+        proc.terminate()
+    for proc in survivors:
+        proc.join(timeout=join_timeout)
+    survivors = [p for p in survivors if p.is_alive()]
+    for proc in survivors:
+        proc.kill()
+    for proc in survivors:
+        proc.join(timeout=1.0)
+    return [p for p in survivors if p.is_alive()]
+
+
+def _report_zombies(zombies: list[Any]) -> list[int]:
+    """Warn about workers that survived the full escalation ladder."""
+    pids = [p.pid for p in zombies if p.pid is not None]
+    if zombies:
+        warnings.warn(
+            f"{len(zombies)} worker(s) out-lived the shutdown "
+            f"escalation (join -> terminate -> kill); pids {pids}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return pids
+
+
+def _emergency_cleanup() -> None:
+    """Close every live pool and unlink every live graph store.
+
+    The atexit/SIGTERM backstop behind the Ctrl-C hygiene guarantees:
+    an interpreter going down must not strand worker processes (their
+    queues' feeder threads can deadlock exit) or ``/dev/shm``
+    segments.  Idempotent — pools and stores de-register on close.
+    """
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+    from repro.parallel.shared_graph import unlink_all_stores
+
+    unlink_all_stores()
+
+
+atexit.register(_emergency_cleanup)
+
+
+def install_signal_backstop(
+    signals: Iterable[int] = (signal.SIGTERM,),
+) -> None:
+    """Chain pool/segment cleanup in front of fatal-signal handlers.
+
+    A SIGTERM'd campaign (batch scheduler preemption, ``timeout(1)``)
+    never runs ``atexit``; this installs a handler that closes live
+    pools, unlinks live shared-memory stores, restores the previous
+    handler, and re-raises the signal so the process still dies with
+    the expected status.  Idempotent; entry-point CLIs install it.
+    """
+    for sig in signals:
+        previous = signal.getsignal(sig)
+        if getattr(previous, "_repro_backstop", False):
+            continue
+
+        def _handler(
+            signum: int, frame: Any, _previous: Any = previous
+        ) -> None:
+            _emergency_cleanup()
+            restore = (
+                _previous
+                if callable(_previous)
+                or _previous in (signal.SIG_DFL, signal.SIG_IGN)
+                else signal.SIG_DFL
+            )
+            signal.signal(signum, restore)
+            signal.raise_signal(signum)
+
+        setattr(_handler, "_repro_backstop", True)
+        signal.signal(sig, _handler)
 
 
 def cpu_count() -> int:
@@ -109,11 +217,13 @@ class WorkerPool:
                 target=worker_main,
                 args=(self._tasks, self._results),
                 daemon=True,
+                name=f"{WORKER_NAME_PREFIX}{i}",
             )
-            for _ in range(workers)
+            for i in range(workers)
         ]
         for proc in self._procs:
             proc.start()
+        _LIVE_POOLS.add(self)
 
     @property
     def workers(self) -> int:
@@ -174,31 +284,32 @@ class WorkerPool:
             out[job_id] = value
         return out
 
-    def close(self) -> None:
+    def close(self) -> list[int]:
         """Stop the workers and release the queues (idempotent).
 
-        Live workers get a stop sentinel and a grace period; anything
-        unresponsive (e.g. after a crash was detected) is terminated.
+        Live workers get a stop sentinel and a grace period, then the
+        full escalation ladder (join → terminate → kill).  Workers
+        that survive even ``kill()`` are reported with a
+        :class:`RuntimeWarning` and returned as a pid list instead of
+        being silently left as zombies; a clean shutdown returns
+        ``[]``.
         """
         if self._closed:
-            return
+            return []
         self._closed = True
+        _LIVE_POOLS.discard(self)
         for _ in self._procs:
             try:
                 self._tasks.put(None)
             except (ValueError, OSError):  # pragma: no cover - queue gone
                 break
-        for proc in self._procs:
-            proc.join(timeout=_JOIN_TIMEOUT)
-        for proc in self._procs:
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=_JOIN_TIMEOUT)
+        zombies = _report_zombies(shutdown_processes(self._procs))
         for q in (self._tasks, self._results):
             q.close()
             # Unsent buffered items (e.g. after a crash) must not block
             # interpreter exit on the queue's feeder thread.
             q.cancel_join_thread()
+        return zombies
 
     def __enter__(self) -> WorkerPool:
         return self

@@ -48,6 +48,27 @@ SEGMENT_PREFIX = "repro-graphs-"
 #: Byte alignment of every array packed into a segment (int64-safe).
 _ALIGN = 8
 
+#: Every open master-side store, for the atexit/SIGTERM backstop: a
+#: fatal signal must not strand ``/dev/shm`` entries any more than an
+#: exception may.  Stores de-register on close.
+_LIVE_STORES: "weakref.WeakSet[SharedGraphStore]" = weakref.WeakSet()
+
+
+def unlink_all_stores() -> list[str]:
+    """Close every still-open :class:`SharedGraphStore` (backstop).
+
+    Called by the :mod:`repro.parallel.pool` atexit/SIGTERM backstop;
+    idempotent.  Returns the unlinked segment names.
+    """
+    names: list[str] = []
+    for store in list(_LIVE_STORES):
+        names.append(store.handle.segment)
+        try:
+            store.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+    return names
+
 
 def _aligned(offset: int) -> int:
     """Round ``offset`` up to the packing alignment."""
@@ -248,6 +269,9 @@ class SharedGraphStore:
             name=name, create=True, size=nbytes
         )
         self._closed = False
+        # Arm the unlink backstop before the first write: a crash while
+        # packing must not leak the freshly-created segment either.
+        self._finalizer = weakref.finalize(self, _unlink_segment, name)
         buf = self._shm.buf
         for write_offset, array in writes:
             view = np.frombuffer(
@@ -258,7 +282,7 @@ class SharedGraphStore:
         self.handle = SharedGraphHandle(
             segment=name, entries=tuple(entries), nbytes=nbytes
         )
-        self._finalizer = weakref.finalize(self, _unlink_segment, name)
+        _LIVE_STORES.add(self)
 
     def close(self) -> None:
         """Unlink the segment (idempotent; safe while workers attached).
@@ -270,6 +294,7 @@ class SharedGraphStore:
         if self._closed:
             return
         self._closed = True
+        _LIVE_STORES.discard(self)
         self._finalizer.detach()
         try:
             self._shm.unlink()

@@ -14,6 +14,16 @@ from repro.sim.metrics import (
     progress_curve,
     stabilization_profile,
 )
+from repro.sim.checkpoint import (
+    CheckpointError,
+    CheckpointJournal,
+    CheckpointMismatchError,
+    CheckpointView,
+    campaign_fingerprint,
+    checkpoint_scope,
+    get_default_checkpoint_dir,
+    set_default_checkpoint_dir,
+)
 from repro.sim.montecarlo import (
     SweepResult,
     TrialStats,
@@ -22,6 +32,14 @@ from repro.sim.montecarlo import (
 )
 
 __all__ = [
+    "CheckpointError",
+    "CheckpointJournal",
+    "CheckpointMismatchError",
+    "CheckpointView",
+    "campaign_fingerprint",
+    "checkpoint_scope",
+    "get_default_checkpoint_dir",
+    "set_default_checkpoint_dir",
     "CoinSource",
     "SeededCoins",
     "ScriptedCoins",

@@ -33,11 +33,13 @@ import pickle
 import warnings
 from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 from scipy import stats as scipy_stats
 
+from repro.sim.checkpoint import CheckpointJournal, CheckpointView
 from repro.sim.rng import spawn_seeds
 from repro.sim.runner import (
     AUTO_BATCH_CHUNK,
@@ -48,6 +50,7 @@ from repro.sim.runner import (
 
 if TYPE_CHECKING:
     from repro.parallel.pool import WorkerPool
+    from repro.parallel.supervisor import SupervisedPool
 
 
 @dataclass
@@ -133,6 +136,51 @@ class TrialStats:
         )
 
 
+def _stats_to_json(stats: TrialStats) -> dict:
+    """Serialize a TrialStats for the checkpoint journal."""
+    return {
+        "times": stats.times.tolist(),
+        "failures": stats.failures,
+        "max_rounds": stats.max_rounds,
+    }
+
+
+def _stats_from_json(obj: Mapping) -> TrialStats:
+    """Rebuild a journaled TrialStats."""
+    return TrialStats(
+        times=np.asarray(obj["times"], dtype=np.int64),
+        failures=int(obj["failures"]),
+        max_rounds=int(obj["max_rounds"]),
+    )
+
+
+def _open_checkpoint(
+    checkpoint: "str | Path | CheckpointJournal | CheckpointView | None",
+    fingerprint: Mapping[str, Any],
+    resume: bool,
+) -> tuple["CheckpointJournal | CheckpointView | None", bool]:
+    """Resolve a ``checkpoint=`` argument to a journal (or view).
+
+    A path is opened here — fingerprint-verified against the campaign
+    when resuming — and the ``True`` second element tells the caller it
+    owns the close.  An already-open journal or scoped view passes
+    through untouched and unverified: its opener did the verification
+    (this is how a sweep hands each grid point a ``p{i}:`` view whose
+    enclosing fingerprint is the *sweep's*, not the point's).
+    """
+    if checkpoint is None:
+        from repro.sim.checkpoint import open_default_journal
+
+        journal = open_default_journal(fingerprint)
+        return journal, journal is not None
+    if isinstance(checkpoint, (str, Path)):
+        return (
+            CheckpointJournal(checkpoint, fingerprint, resume=resume),
+            True,
+        )
+    return checkpoint, False
+
+
 def estimate_stabilization_time(
     process_factory: Callable[[int], object],
     trials: int,
@@ -141,7 +189,11 @@ def estimate_stabilization_time(
     batch: str | int | None = "auto",
     engine: str = "auto",
     n_jobs: int | str | None = None,
-    pool: WorkerPool | None = None,
+    pool: "WorkerPool | SupervisedPool | None" = None,
+    checkpoint: "str | Path | CheckpointJournal | CheckpointView | None" = (
+        None
+    ),
+    resume: bool = True,
 ) -> TrialStats:
     """Run independent trials and collect stabilization times.
 
@@ -189,6 +241,18 @@ def estimate_stabilization_time(
         are bitwise-identical for any worker count.  Factories that
         produce non-batchable processes ignore ``n_jobs`` and stay on
         the in-process serial loop.
+    checkpoint, resume:
+        Campaign checkpointing (see :mod:`repro.sim.checkpoint`): a
+        journal path — opened here, fingerprint-verified when
+        ``resume=True`` (the default), truncated otherwise — or an
+        already-open journal/scoped view.  Completed units of work
+        (fleet shards, in-process chunks, serial trials, and the final
+        summary) are persisted atomically as they finish, and a
+        resumed campaign skips them, producing statistics
+        bitwise-identical to an uninterrupted run.  The fingerprint
+        covers the campaign *shape* (trials, budget, seed, batching);
+        the factory itself cannot be fingerprinted — resume with the
+        factory you started with.
     """
     from repro.core.batched import batchable
     from repro.core.frontier import resolve_engine
@@ -197,6 +261,52 @@ def estimate_stabilization_time(
         raise ValueError("trials must be >= 1")
     validate_batch(batch)
     resolve_engine(engine)
+    journal, own_journal = _open_checkpoint(
+        checkpoint,
+        {
+            "kind": "estimate",
+            "trials": trials,
+            "max_rounds": max_rounds,
+            "seed": seed,
+            "batch": batch,
+        },
+        resume,
+    )
+    try:
+        return _estimate_journaled(
+            process_factory,
+            trials,
+            max_rounds,
+            seed,
+            batch,
+            engine,
+            n_jobs,
+            pool,
+            journal,
+        )
+    finally:
+        if own_journal and journal is not None:
+            journal.close()  # type: ignore[union-attr]
+
+
+def _estimate_journaled(
+    process_factory: Callable[[int], object],
+    trials: int,
+    max_rounds: int,
+    seed: int | None,
+    batch: str | int | None,
+    engine: str,
+    n_jobs: int | str | None,
+    pool: "WorkerPool | SupervisedPool | None",
+    journal: "CheckpointJournal | CheckpointView | None",
+) -> TrialStats:
+    """The estimate body, with an optional journal threaded through."""
+    from repro.core.batched import batchable
+
+    if journal is not None:
+        cached = journal.get("stats")
+        if cached is not None:
+            return _stats_from_json(cached)
     seeds = spawn_seeds(seed, trials)
     times = []
     failures = 0
@@ -206,6 +316,14 @@ def estimate_stabilization_time(
         for result in results:
             if result.stabilized:
                 times.append(result.stabilization_round)
+            else:
+                failures += 1
+
+    def record_raw(pairs) -> None:
+        nonlocal failures
+        for stabilized, stabilization_round in pairs:
+            if stabilized:
+                times.append(stabilization_round)
             else:
                 failures += 1
 
@@ -237,17 +355,35 @@ def estimate_stabilization_time(
                 engine=engine,
                 n_jobs=n_jobs,
                 pool=pool,
+                journal=journal,
             )
         )
     elif batch is None:
         for i, trial_seed in enumerate(seeds):
+            key = f"trial:{i}"
+            if journal is not None:
+                cached_trial = journal.get(key)
+                if cached_trial is not None:
+                    record_raw([cached_trial])
+                    continue
             process = probe if i == 0 and probe is not None else (
                 process_factory(trial_seed)
             )
-            record([run_until_stable(process, max_rounds=max_rounds)])
+            result = run_until_stable(process, max_rounds=max_rounds)
+            if journal is not None:
+                journal.put(
+                    key, [result.stabilized, result.stabilization_round]
+                )
+            record([result])
     else:
         chunk_size = AUTO_BATCH_CHUNK if batch == "auto" else int(batch)
         for lo in range(0, trials, chunk_size):
+            key = f"chunk:{lo}"
+            if journal is not None:
+                cached_chunk = journal.get(key)
+                if cached_chunk is not None:
+                    record_raw(cached_chunk)
+                    continue
             chunk_seeds = seeds[lo:lo + chunk_size]
             if lo == 0:
                 processes = [probe] + [
@@ -255,19 +391,29 @@ def estimate_stabilization_time(
                 ]
             else:
                 processes = [process_factory(s) for s in chunk_seeds]
-            record(
-                run_many_until_stable(
-                    processes,
-                    max_rounds=max_rounds,
-                    batch=batch,
-                    engine=engine,
-                )
+            chunk_results = run_many_until_stable(
+                processes,
+                max_rounds=max_rounds,
+                batch=batch,
+                engine=engine,
             )
-    return TrialStats(
+            if journal is not None:
+                journal.put(
+                    key,
+                    [
+                        [r.stabilized, r.stabilization_round]
+                        for r in chunk_results
+                    ],
+                )
+            record(chunk_results)
+    stats = TrialStats(
         times=np.array(times, dtype=np.int64),
         failures=failures,
         max_rounds=max_rounds,
     )
+    if journal is not None:
+        journal.put("stats", _stats_to_json(stats))
+    return stats
 
 
 class SweepResult(Mapping):
@@ -324,13 +470,16 @@ class SweepResult(Mapping):
 def _sweep_point(
     payload: tuple,
     n_jobs: int | str | None = None,
-    pool: WorkerPool | None = None,
+    pool: "WorkerPool | SupervisedPool | None" = None,
+    journal: "CheckpointJournal | CheckpointView | None" = None,
 ) -> TrialStats:
     """Evaluate one grid point (module-level so process pools can pickle it).
 
     The legacy ``dispatch="points"`` path maps this over a stock pool
-    with the payload alone; the fleet path calls it in-process with the
-    persistent pool, sharding each point's replicas instead.
+    with the payload alone (journals are not picklable, so that path
+    checkpoints only at whole-point granularity, in the caller); the
+    fleet path calls it in-process with the persistent pool and the
+    point's scoped journal view, sharding each point's replicas.
     """
     make_factory, point, trials, budget, point_seed, batch, engine = payload
     return estimate_stabilization_time(
@@ -342,6 +491,7 @@ def _sweep_point(
         engine=engine,
         n_jobs=n_jobs,
         pool=pool,
+        checkpoint=journal,
     )
 
 
@@ -355,6 +505,10 @@ def sweep_stabilization_times(
     engine: str = "auto",
     n_jobs: int | str | None = None,
     dispatch: str = "fleet",
+    checkpoint: "str | Path | CheckpointJournal | CheckpointView | None" = (
+        None
+    ),
+    resume: bool = True,
 ) -> SweepResult:
     """Estimate stabilization times over a parameter grid.
 
@@ -396,6 +550,16 @@ def sweep_stabilization_times(
         unpicklable factories are detected up front and fall back to
         the in-process path with a :class:`RuntimeWarning` — that
         warning is now exclusive to this legacy path.
+    checkpoint, resume:
+        Campaign checkpointing (see :mod:`repro.sim.checkpoint`): a
+        journal path or open journal.  Each finished grid point is
+        persisted under ``point:{i}`` the moment it completes, and on
+        the fleet/in-process paths each point additionally journals
+        its own shards/chunks under a ``p{i}:`` scope — so an
+        interrupted sweep resumes mid-point, not merely mid-grid, and
+        produces a bitwise-identical :class:`SweepResult`.  The legacy
+        ``dispatch="points"`` executor checkpoints at whole-point
+        granularity only (journals do not cross process boundaries).
 
     Returns
     -------
@@ -408,56 +572,111 @@ def sweep_stabilization_times(
         )
     point_seeds = spawn_seeds(seed, len(grid))
     payloads = []
+    budgets = []
     for point, point_seed in zip(grid, point_seeds):
         budget = max_rounds(point) if callable(max_rounds) else max_rounds
+        budgets.append(budget)
         payloads.append(
             (make_factory, point, trials, budget, point_seed, batch, engine)
         )
-    if n_jobs is None:
-        from repro.parallel.config import get_default_n_jobs
+    journal, own_journal = _open_checkpoint(
+        checkpoint,
+        {
+            "kind": "sweep",
+            "grid": [repr(point) for point in grid],
+            "trials": trials,
+            "budgets": budgets,
+            "seed": seed,
+            "batch": batch,
+        },
+        resume,
+    )
+    try:
+        stats_by_index: dict[int, TrialStats] = {}
+        if journal is not None:
+            for i in range(len(payloads)):
+                cached = journal.get(f"point:{i}")
+                if cached is not None:
+                    stats_by_index[i] = _stats_from_json(cached)
+        todo = [i for i in range(len(payloads)) if i not in stats_by_index]
 
-        n_jobs = get_default_n_jobs()
-    shards = 1
-    if n_jobs is not None:
-        from repro.parallel.pool import resolve_n_jobs
+        def point_journal(i: int) -> "CheckpointView | None":
+            return journal.scoped(f"p{i}:") if journal is not None else None
 
-        shards = resolve_n_jobs(n_jobs, clamp=False)
-    if shards >= 2 and dispatch == "fleet":
-        from repro.parallel.pool import WorkerPool, resolve_n_jobs
+        def finish(i: int, point_stats: TrialStats) -> None:
+            if journal is not None:
+                journal.put(f"point:{i}", _stats_to_json(point_stats))
+            stats_by_index[i] = point_stats
 
-        with WorkerPool(min(shards, resolve_n_jobs(n_jobs))) as pool:
-            stats = [
-                _sweep_point(payload, n_jobs=n_jobs, pool=pool)
-                for payload in payloads
-            ]
-        return SweepResult(list(grid), stats)
-    use_pool = shards >= 2
-    if use_pool:
-        # The legacy path: a ProcessPoolExecutor pickles each payload;
-        # a lambda/closure make_factory would raise PicklingError from
-        # deep inside the pool, so probe up front and degrade
-        # gracefully (dispatch="fleet" has no such constraint).
-        try:
-            pickle.dumps(make_factory)
-        except (pickle.PicklingError, AttributeError, TypeError) as exc:
-            warnings.warn(
-                f"make_factory is not picklable ({exc}); evaluating the "
-                "sweep in-process (n_jobs ignored). Use a module-level "
-                "factory function, or dispatch='fleet', to enable the "
-                "process pool.",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            use_pool = False
-    if use_pool:
-        from concurrent.futures import ProcessPoolExecutor
+        if n_jobs is None:
+            from repro.parallel.config import get_default_n_jobs
 
-        from repro.parallel.pool import resolve_n_jobs
+            n_jobs = get_default_n_jobs()
+        shards = 1
+        if n_jobs is not None:
+            from repro.parallel.pool import resolve_n_jobs
 
-        with ProcessPoolExecutor(
-            max_workers=resolve_n_jobs(n_jobs)
-        ) as executor:
-            stats = list(executor.map(_sweep_point, payloads))
-    else:
-        stats = [_sweep_point(payload) for payload in payloads]
+            shards = resolve_n_jobs(n_jobs, clamp=False)
+        if todo and shards >= 2 and dispatch == "fleet":
+            from repro.parallel.pool import resolve_n_jobs
+            from repro.parallel.supervisor import SupervisedPool
+
+            with SupervisedPool(
+                min(shards, resolve_n_jobs(n_jobs))
+            ) as pool:
+                for i in todo:
+                    finish(
+                        i,
+                        _sweep_point(
+                            payloads[i],
+                            n_jobs=n_jobs,
+                            pool=pool,
+                            journal=point_journal(i),
+                        ),
+                    )
+            todo = []
+        use_pool = bool(todo) and shards >= 2
+        if use_pool:
+            # The legacy path: a ProcessPoolExecutor pickles each
+            # payload; a lambda/closure make_factory would raise
+            # PicklingError from deep inside the pool, so probe up
+            # front and degrade gracefully (dispatch="fleet" has no
+            # such constraint).
+            try:
+                pickle.dumps(make_factory)
+            except (pickle.PicklingError, AttributeError, TypeError) as exc:
+                warnings.warn(
+                    f"make_factory is not picklable ({exc}); evaluating "
+                    "the sweep in-process (n_jobs ignored). Use a "
+                    "module-level factory function, or dispatch='fleet', "
+                    "to enable the process pool.",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                use_pool = False
+        if use_pool:
+            from concurrent.futures import ProcessPoolExecutor
+
+            from repro.parallel.pool import resolve_n_jobs
+
+            with ProcessPoolExecutor(
+                max_workers=resolve_n_jobs(n_jobs)
+            ) as executor:
+                for i, point_stats in zip(
+                    todo,
+                    executor.map(
+                        _sweep_point, [payloads[i] for i in todo]
+                    ),
+                ):
+                    finish(i, point_stats)
+        else:
+            for i in todo:
+                finish(
+                    i,
+                    _sweep_point(payloads[i], journal=point_journal(i)),
+                )
+        stats = [stats_by_index[i] for i in range(len(payloads))]
+    finally:
+        if own_journal and journal is not None:
+            journal.close()  # type: ignore[union-attr]
     return SweepResult(list(grid), stats)

@@ -36,6 +36,7 @@ from repro.sim.trace import Trace, TraceRecorder
 if TYPE_CHECKING:
     from repro.core.process import MISProcess
     from repro.parallel.pool import WorkerPool
+    from repro.sim.checkpoint import CheckpointView
 
 
 @dataclass
@@ -163,6 +164,7 @@ def run_many_until_stable(
     engine: str = "auto",
     n_jobs: int | str | None = None,
     pool: WorkerPool | None = None,
+    journal: "CheckpointView | None" = None,
 ) -> list[RunResult]:
     """Run many independent processes to stabilization, batching when possible.
 
@@ -207,10 +209,19 @@ def run_many_until_stable(
         any worker count**, because every replica's coin stream is
         independent.
     pool:
-        An existing :class:`repro.parallel.pool.WorkerPool` to reuse
-        (amortizes worker startup across calls); implies parallel
-        dispatch with one shard per worker unless ``n_jobs`` says
-        otherwise.
+        An existing pool to reuse (amortizes worker startup across
+        calls); implies parallel dispatch with one shard per worker
+        unless ``n_jobs`` says otherwise.  A
+        :class:`repro.parallel.supervisor.SupervisedPool` (what the
+        fleet path builds itself by default) self-heals worker
+        crashes, stragglers, and poisoned results; a legacy
+        :class:`repro.parallel.pool.WorkerPool` stays fail-fast.
+    journal:
+        A :class:`repro.sim.checkpoint.CheckpointView` for the fleet
+        path: completed shards are persisted the moment they land and
+        journaled shards are not re-dispatched, so an interrupted
+        campaign resumes bitwise-identically.  Ignored by the
+        in-process paths (they have no shard granularity to persist).
 
     Returns
     -------
@@ -240,6 +251,7 @@ def run_many_until_stable(
                 engine=engine,
                 n_jobs=n_jobs,
                 pool=pool,
+                journal=journal,
             )
 
     results: list[RunResult | None] = [None] * len(processes)

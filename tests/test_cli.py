@@ -87,6 +87,32 @@ class TestExperimentsCli:
         with pytest.raises(KeyError):
             experiments_main(["run", "E99"])
 
+    def test_checkpoint_writes_scoped_journals(self, tmp_path, capsys):
+        from repro.sim.checkpoint import (
+            get_default_checkpoint_dir,
+            set_default_checkpoint_dir,
+        )
+
+        try:
+            code = experiments_main(
+                ["run", "E1", "--checkpoint", str(tmp_path)]
+            )
+            assert code == 0
+            journals = list(tmp_path.glob("E1-*.journal"))
+            assert journals, "campaigns were not journaled"
+            # Resuming replays the journals and still passes.
+            code = experiments_main(
+                ["run", "E1", "--checkpoint", str(tmp_path), "--resume"]
+            )
+            assert code == 0
+            assert get_default_checkpoint_dir() == tmp_path
+        finally:
+            set_default_checkpoint_dir(None)
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["run", "E9", "--resume"])
+
 
 class TestReportCommand:
     def test_report_writes_markdown(self, tmp_path, capsys, monkeypatch):

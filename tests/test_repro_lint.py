@@ -601,6 +601,80 @@ def test_parallel_safety_clean_module_level_worker(tmp_path):
     assert findings == []
 
 
+def test_parallel_safety_exempts_supervised_run_jobs(tmp_path):
+    # SupervisedPool.run_jobs keeps its callable keywords on the
+    # master side (local_runner/validate/on_result are supervision
+    # hooks) — lambdas there are idiomatic, not a pickle hazard.
+    findings = lint_source(
+        tmp_path,
+        """
+        def dispatch(pool, jobs, registry):
+            return pool.run_jobs(
+                jobs,
+                local_runner=lambda job: run_shard(registry, job),
+                validate=lambda job, result: True,
+            )
+        """,
+        "parallel-safety",
+    )
+    assert findings == []
+
+
+def test_parallel_safety_exempts_master_guarded_mutation(tmp_path):
+    # A function that bails out of child processes before mutating
+    # (the open_default_journal idiom) is master-side only: the
+    # mutation can never happen in a worker's module copy.
+    findings = lint_source(
+        tmp_path,
+        """
+        import multiprocessing as mp
+
+        _counter = 0
+
+        def _next_index():
+            global _counter
+            if mp.parent_process() is not None:
+                return None
+            _counter += 1
+            return _counter
+
+        def _work(x):
+            _next_index()
+            return x
+
+        def sweep(pool, xs):
+            return pool.map(_work, xs)
+        """,
+        "parallel-safety",
+    )
+    assert findings == []
+
+
+def test_parallel_safety_unguarded_mutation_still_flagged(tmp_path):
+    # Same shape without the parent_process() guard stays a finding.
+    findings = lint_source(
+        tmp_path,
+        """
+        _counter = 0
+
+        def _next_index():
+            global _counter
+            _counter += 1
+            return _counter
+
+        def _work(x):
+            _next_index()
+            return x
+
+        def sweep(pool, xs):
+            return pool.map(_work, xs)
+        """,
+        "parallel-safety",
+    )
+    assert len(findings) == 1
+    assert "_counter" in findings[0].message
+
+
 def test_parallel_safety_pragma_suppresses(tmp_path):
     findings = lint_source(
         tmp_path,

@@ -16,6 +16,11 @@ silent failure modes:
    never crosses the boundary — except on the sweep's explicit legacy
    ``dispatch="points"`` path, which still fans whole payloads
    (factory included) into a stock executor and stays flagged.
+   Likewise exempt: ``SupervisedPool.run_jobs``
+   (:data:`_MASTER_SIDE_POOL_METHODS`), whose callable keywords
+   (``local_runner``/``validate``/``on_result``) are supervision hooks
+   invoked in the dispatching process — lambdas there are idiomatic,
+   not a pickle hazard.
 
 2. **Worker-side module-global mutation.**  A worker process runs in a
    *copy* of the module: mutating a module-level binding there is lost
@@ -23,7 +28,12 @@ silent failure modes:
    either way the result depends on the start method.  Using the
    project call graph, the rule walks everything reachable from a
    resolvable worker function and flags ``global`` rebinding and
-   in-place mutation of module-level state.
+   in-place mutation of module-level state.  Functions that *guard*
+   their mutation behind a master-only check — an ``if`` testing
+   ``multiprocessing.parent_process()`` that returns before the
+   mutation (the :func:`repro.sim.checkpoint.open_default_journal`
+   idiom) — are recognized by :func:`_master_guarded` and exempted:
+   a child process provably bails out before reaching the global.
 
 Files outside the indexed package roots degrade to a same-file check:
 worker functions defined at module level in the same file are scanned
@@ -70,7 +80,16 @@ _FLEET_SAFE_CALLEES = {
     "sweep_stabilization_times",
     "run_fleet_sharded",
     "_sweep_point",
+    "_estimate_journaled",
 }
+
+#: Pool methods whose callable keywords run on the MASTER side, never
+#: crossing a pickle boundary: ``SupervisedPool.run_jobs`` takes
+#: ``local_runner`` (deadline degradation), ``validate`` (poison
+#: quarantine), and ``on_result`` (checkpoint journaling) — all are
+#: invoked by the supervision loop in the dispatching process, so
+#: lambdas and closures are the *idiomatic* arguments there.
+_MASTER_SIDE_POOL_METHODS = {"run_jobs"}
 
 
 def _dispatches_points(call: ast.Call) -> bool:
@@ -167,6 +186,14 @@ class ParallelSafetyRule(Rule):
     ) -> list[Finding]:
         site = None
         workers: list[ast.expr] = []
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _MASTER_SIDE_POOL_METHODS
+            and _receiver_is_pool(call.func)
+        ):
+            # SupervisedPool.run_jobs: its callable keywords stay on
+            # the master side of the supervision loop — fleet-safe.
+            return []
         if (
             isinstance(call.func, ast.Attribute)
             and call.func.attr in _POOL_METHODS
@@ -288,6 +315,8 @@ class ParallelSafetyRule(Rule):
             for fq in sorted(closure):
                 finfo = index.functions[fq]
                 fmod = index.modules.get(finfo.module)
+                if _master_guarded(finfo.node):
+                    continue
                 mutated = _global_mutations(
                     finfo.node, fmod.globals if fmod else set()
                 )
@@ -343,6 +372,46 @@ class ParallelSafetyRule(Rule):
                     for gname in _global_mutations(node, module_globals)
                 ]
         return []
+
+
+def _master_guarded(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether ``fn`` bails out of child processes before mutating.
+
+    Recognizes the master-only guard idiom::
+
+        if ... mp.parent_process() is not None ...:
+            return ...
+        global _counter
+        _counter += 1
+
+    i.e. a top-level ``if`` whose test calls ``parent_process`` and
+    whose body ends in ``return``.  A child process (where
+    ``parent_process()`` is non-``None``) provably returns before any
+    module-global mutation below the guard, so the mutation is
+    master-side only and start-method-independent.
+    """
+    for stmt in fn.body:
+        if not isinstance(stmt, ast.If):
+            continue
+        calls_parent_process = any(
+            isinstance(node, ast.Call)
+            and (
+                (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "parent_process"
+                )
+                or (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "parent_process"
+                )
+            )
+            for node in ast.walk(stmt.test)
+        )
+        if calls_parent_process and stmt.body and isinstance(
+            stmt.body[-1], ast.Return
+        ):
+            return True
+    return False
 
 
 def _global_mutations(
