@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast lint repro-lint typecheck docs check-docs bench bench-batched bench-families bench-substrate bench-frontier bench-batched-frontier bench-parallel bench-fast check-bench bench-smoke doctor chaos-smoke ci
+.PHONY: test test-fast lint repro-lint typecheck docs check-docs bench bench-batched bench-families bench-substrate bench-frontier bench-batched-frontier bench-parallel bench-churn bench-fast check-bench bench-smoke doctor chaos-smoke churn-smoke ci
 
 test:            ## full test suite (tier-1 gate)
 	$(PYTHON) -m pytest -x -q
@@ -54,6 +54,9 @@ bench-batched-frontier:  ## batched frontier vs PR 2 full-reduction fleet (>=3x 
 bench-parallel:  ## multi-core fleet sharding vs serial (hardware-scaled floor asserted; >=3x at 4 workers on 4+ cores)
 	$(PYTHON) benchmarks/bench_parallel_sweep.py
 
+bench-churn:     ## dynamic MIS service: frontier repair vs per-event rebuild at n = 2^16 (throughput floor asserted)
+	$(PYTHON) benchmarks/bench_churn.py
+
 bench-fast:      ## fast-mode speedups -> BENCH_*.json at repo root
 	$(PYTHON) benchmarks/emit_bench_json.py
 
@@ -66,12 +69,17 @@ doctor:          ## parallel-substrate self-check (spawn/crash/respawn, shm hygi
 chaos-smoke:     ## seeded kill/hang/poison resilience matrix at 2 and 4 workers
 	$(PYTHON) -m repro.parallel --chaos-smoke --workers 2 4
 
-ci: lint test check-docs bench-smoke doctor chaos-smoke   ## what the CI workflow runs
+churn-smoke:     ## dynamic-service self-check (overlay/repair/resume doctor) + fast E20
+	$(PYTHON) -m repro.dynamic --doctor
+	$(PYTHON) -m repro.experiments run E20
 
-bench-smoke:     ## CI-scale regression smoke (batched engines, substrate, frontier, fleet sharding, E19)
+ci: lint test check-docs bench-smoke doctor chaos-smoke churn-smoke   ## what the CI workflow runs
+
+bench-smoke:     ## CI-scale regression smoke (batched engines, substrate, frontier, fleet sharding, churn, E19)
 	BENCH_FAST=1 $(PYTHON) benchmarks/bench_batched_families.py
 	BENCH_FAST=1 $(PYTHON) benchmarks/bench_graph_substrate.py
 	BENCH_FAST=1 $(PYTHON) benchmarks/bench_frontier.py
 	BENCH_FAST=1 $(PYTHON) benchmarks/bench_batched_frontier.py
 	BENCH_FAST=1 $(PYTHON) benchmarks/bench_parallel_sweep.py
+	BENCH_FAST=1 $(PYTHON) benchmarks/bench_churn.py
 	$(PYTHON) -m repro.experiments run E19

@@ -17,7 +17,10 @@ one JSON file per family at the repo root, each a list of
   serial in-process path (``benchmarks/bench_parallel_sweep.py``);
   its floors are *hardware-scaled* (a 1-core runner gates dispatch
   overhead, a 4-core one gates real scaling — see
-  ``bench_parallel_sweep.scaling_floor``).
+  ``bench_parallel_sweep.scaling_floor``);
+* ``BENCH_churn.json``             — the dynamic MIS service: frontier
+  repair vs per-event aggregate rebuild, plus an absolute
+  mutation-throughput gate (``benchmarks/bench_churn.py``).
 
 Every ``workload`` string names the *exact* parameters the entry
 measured (the fast/CI workload — not the full-size acceptance workload
@@ -206,6 +209,37 @@ def parallel_entries(commit: str) -> list[dict]:
     ]
 
 
+def churn_entries(commit: str) -> list[dict]:
+    import bench_churn as bc
+
+    r = bc.measure()
+    label = (
+        f"{bc.EVENTS} uniform events on G(n={bc.N}, 3/n), "
+        f"settle every event, seed {bc.SEED}"
+    )
+    return [
+        entry(
+            f"churn service, frontier repair vs per-event rebuild, {label}",
+            r["repair_s"],
+            r["speedup"],
+            bc.MIN_SPEEDUP,
+            commit,
+        ),
+        # Throughput entry: "speedup" is events/s over the asserted
+        # floor, so check_bench's speedup >= floor gate (floor 1.0)
+        # doubles as an absolute mutation-throughput gate.
+        entry(
+            f"churn service, mutation throughput "
+            f"({r['events_per_s']:.0f} events/s / floor "
+            f"{bc.FLOOR_EVENTS_PER_S:.0f}), {label}",
+            r["repair_s"],
+            r["events_per_s"] / bc.FLOOR_EVENTS_PER_S,
+            1.0,
+            commit,
+        ),
+    ]
+
+
 def main() -> None:
     commit = current_commit()
     families = {
@@ -214,6 +248,7 @@ def main() -> None:
         "BENCH_batched.json": batched_entries,
         "BENCH_batched_frontier.json": batched_frontier_entries,
         "BENCH_parallel.json": parallel_entries,
+        "BENCH_churn.json": churn_entries,
     }
     for filename, build in families.items():
         entries = build(commit)

@@ -69,7 +69,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.neighbor_ops import NeighborOps, gather_neighbors
+from repro.core.neighbor_ops import NeighborOps
 from repro.graphs.graph import Graph
 
 #: Engine modes accepted by the 2-state / 3-state constructors.
@@ -159,9 +159,12 @@ class FrontierAggregates:
         self.adaptive = bool(adaptive)
         self.track_aux = bool(track_aux)
         self.crossover = float(crossover)
-        self._degrees = graph.degrees()
+        # Degrees/volume come from the ops backend, not the graph: the
+        # dynamic overlay backend (repro.dynamic.overlay) reports the
+        # live churn-adjusted topology through the same hooks.
+        self._degrees = ops.degrees()
         #: Directed edge volume 2m — the cost of one full reduction.
-        self.volume = int(graph.indices.shape[0])
+        self.volume = int(ops.volume())
         self._threshold = self.crossover * self.volume
         self.token: object = STALE
         self.counts: np.ndarray | None = None
@@ -174,6 +177,10 @@ class FrontierAggregates:
         #: Round counters by update path (introspection / experiments).
         self.scatter_rounds = 0
         self.full_rounds = 0
+        #: Topology-delta counters (incremental repair vs fallback; see
+        #: :meth:`apply_topology_delta` and :mod:`repro.dynamic`).
+        self.topology_repairs = 0
+        self.topology_rebuilds = 0
 
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
@@ -224,9 +231,7 @@ class FrontierAggregates:
         members = np.flatnonzero(self.stable)
         covered = self.stable.copy()
         if members.size:
-            nbrs = gather_neighbors(
-                self.graph.indptr, self.graph.indices, members
-            )
+            nbrs = self.ops.gather(members)
             if nbrs.size:
                 covered[nbrs] = True
         self.covered = covered
@@ -336,9 +341,8 @@ class FrontierAggregates:
 
     def _cover_added(self, added: np.ndarray) -> None:
         """Monotone covered update: ``N+[added]`` becomes covered."""
-        graph = self.graph
         self.covered[added] = True
-        nbrs = gather_neighbors(graph.indptr, graph.indices, added)
+        nbrs = self.ops.gather(added)
         if nbrs.size:
             self.covered[nbrs] = True
         self.unstable_total = self.n - int(np.count_nonzero(self.covered))
@@ -372,6 +376,127 @@ class FrontierAggregates:
             self._recompute_covered()
             return
         self._cover_added(added)
+
+    # ------------------------------------------------------------------
+    # Topology churn (the dynamic overlay, :mod:`repro.dynamic`).
+
+    @staticmethod
+    def _patch_counts(
+        counts: np.ndarray,
+        us: np.ndarray,
+        vs: np.ndarray,
+        mask: np.ndarray,
+        sign: int,
+    ) -> None:
+        """``counts[u] += sign`` per edge ``(u, v)`` with ``mask[v]`` (both ways)."""
+        targets = np.concatenate((us[mask[vs]], vs[mask[us]]))
+        if targets.size:
+            np.add.at(counts, targets, sign)
+
+    def apply_topology_delta(
+        self,
+        black: np.ndarray,
+        add_us: np.ndarray,
+        add_vs: np.ndarray,
+        rem_us: np.ndarray,
+        rem_vs: np.ndarray,
+        token: object,
+        aux: np.ndarray | None = None,
+    ) -> str:
+        """Repair the aggregates across an edge delta; returns the action.
+
+        Must be called *after* the owner's ops backend reflects the new
+        adjacency (the dynamic overlay of :mod:`repro.dynamic.overlay`
+        mutates first, then repairs).  ``add_us``/``add_vs`` and
+        ``rem_us``/``rem_vs`` are endpoint arrays of the edges actually
+        inserted/deleted (one entry per undirected edge);
+        ``black``/``aux`` are the *current* state masks, which topology
+        changes never touch.
+
+        Actions returned:
+
+        * ``"repair"``         — counts, ``has_black``, ``I_t``, and the
+          covered mask all patched from only the touched endpoints
+          (``O(endpoints + vol(I_t) additions)`` work).
+        * ``"repair+recover"`` — counts patched incrementally, but the
+          delta invalidated the monotone-coverage invariant (a vertex
+          left ``I_t``, or a deleted edge touched a stable vertex's
+          neighbourhood), so ``N+[I_t]`` was recomputed from scratch —
+          the graceful fallback of the class docstring.
+        * ``"rebuild"``        — the aggregates were already stale, or
+          the delta volume crossed the full-reduction threshold;
+          everything is recomputed (lazily in the stale case).
+        """
+        add_us = np.asarray(add_us, dtype=np.int64)
+        add_vs = np.asarray(add_vs, dtype=np.int64)
+        rem_us = np.asarray(rem_us, dtype=np.int64)
+        rem_vs = np.asarray(rem_vs, dtype=np.int64)
+        if self.track_aux and aux is None:
+            raise ValueError("track_aux aggregates need an aux mask")
+        # Topology-derived scalars first: degrees and volume moved under
+        # us, and every later cost estimate must see the new topology.
+        self._degrees = self.ops.degrees()
+        self.volume = int(self.ops.volume())
+        self._threshold = self.crossover * self.volume
+        if self.token is not token or self.counts is None:
+            # Already out of sync with the state — nothing worth
+            # repairing; the next aggregate access rebuilds.
+            self.token = STALE
+            self.topology_rebuilds += 1
+            return "rebuild"
+        endpoints = np.concatenate((add_us, add_vs, rem_us, rem_vs))
+        if self.adaptive and self.changed_volume(endpoints) > self._threshold:
+            self.rebuild(black, token, aux=aux)
+            self.topology_rebuilds += 1
+            return "rebuild"
+        for us, vs, sign in ((add_us, add_vs, 1), (rem_us, rem_vs, -1)):
+            if us.size == 0:
+                continue
+            self._patch_counts(self.counts, us, vs, black, sign)
+            if self.track_aux:
+                self._patch_counts(self.aux_counts, us, vs, aux, sign)
+        uniq = np.unique(endpoints)
+        self.has_black[uniq] = self.counts[uniq] > 0
+        if self.track_aux:
+            self.aux_has[uniq] = self.aux_counts[uniq] > 0
+        # I_t can only change at the touched endpoints (blackness is
+        # untouched; only their counts moved).
+        new_st = black[uniq] & ~self.has_black[uniq]
+        diff = new_st != self.stable[uniq]
+        added = uniq[diff & new_st]
+        removed = uniq[diff & ~new_st]
+        self.stable[added] = True
+        self.stable[removed] = False
+        # Coverage is monotone only while I_t grows and no edge out of a
+        # stable vertex disappears; otherwise recompute N+[I_t].  (The
+        # removed-edge test is conservative: it fires even when the
+        # stable endpoint only just *entered* I_t, which loses nothing
+        # but a cheap scatter.)
+        recover = removed.size > 0
+        if not recover and rem_us.size:
+            recover = bool(
+                self.stable[rem_us].any() or self.stable[rem_vs].any()
+            )
+        if recover:
+            self._recompute_covered()
+            action = "repair+recover"
+        else:
+            if added.size:
+                self._cover_added(added)
+            if add_us.size:
+                # New edges out of still-stable vertices extend N+[I_t].
+                extra = np.concatenate(
+                    (add_vs[self.stable[add_us]], add_us[self.stable[add_vs]])
+                )
+                if extra.size:
+                    self.covered[extra] = True
+                    self.unstable_total = self.n - int(
+                        np.count_nonzero(self.covered)
+                    )
+            action = "repair"
+        self.token = token
+        self.topology_repairs += 1
+        return action
 
     def _update_stability(self, new_black: np.ndarray) -> None:
         """Update ``I_t`` / ``N+[I_t]`` / the unstable counter.

@@ -116,6 +116,29 @@ class NeighborOps:
         """``out[u] = (N(u) ∩ mask != ∅)`` as a boolean array."""
         return self.count(mask) > 0
 
+    def degrees(self) -> np.ndarray:
+        """Current per-vertex degree sequence (callers must not mutate).
+
+        Static backends serve the graph's cached degrees; the dynamic
+        overlay backend (:mod:`repro.dynamic.overlay`) overrides this
+        with the live, churn-adjusted sequence so frontier cost
+        estimates track the mutable topology.
+        """
+        return self.graph.degrees()
+
+    def volume(self) -> int:
+        """Current directed edge volume ``2m`` (one full-reduction's cost)."""
+        return int(self.graph.indices.shape[0])
+
+    def gather(self, vertices: np.ndarray) -> np.ndarray:
+        """Concatenated current neighbour lists (with multiplicity).
+
+        The frontier engine routes its neighbour gathers through this
+        hook (instead of reading ``graph.indptr``/``indices`` directly)
+        so dynamic backends can splice their delta log in.
+        """
+        return gather_neighbors(self.graph.indptr, self.graph.indices, vertices)
+
     def _validate_masks(self, masks: np.ndarray) -> np.ndarray:
         """Coerce and shape-check an ``(R, n)`` replica-mask matrix."""
         masks = np.asarray(masks)

@@ -66,6 +66,11 @@ class MISProcess:
     backend:
         Neighbourhood-aggregation backend (``"auto"``, ``"dense"``,
         ``"sparse"``, ``"adjlist"``).
+    ops:
+        A pre-built :class:`~repro.core.neighbor_ops.NeighborOps` to
+        adopt instead of constructing one from ``backend`` — the
+        dynamic layer (:mod:`repro.dynamic`) injects its delta-aware
+        overlay backend this way.  When given, ``backend`` is ignored.
     """
 
     #: Human-readable name of the process (subclasses override).
@@ -78,11 +83,14 @@ class MISProcess:
         graph: Graph,
         coins: CoinSource | int | np.random.Generator | None = None,
         backend: str = "auto",
+        ops: NeighborOps | None = None,
     ) -> None:
         self.graph = graph
         self.n = graph.n
         self.coins = as_coin_source(coins)
-        self.ops: NeighborOps = make_neighbor_ops(graph, backend)
+        self.ops: NeighborOps = (
+            ops if ops is not None else make_neighbor_ops(graph, backend)
+        )
         self.round: int = 0
         self._agg_cache: dict[str, np.ndarray] = {}
         self._agg_token: object = _STALE
@@ -136,6 +144,18 @@ class MISProcess:
         self._agg_token = _STALE
         if self._frontier is not None:
             self._frontier.invalidate()
+
+    def _topology_changed(self) -> None:
+        """Invalidate memoized aggregates after a graph topology change.
+
+        Unlike :meth:`_state_changed` this leaves the frontier
+        aggregates alone: the dynamic layer (:mod:`repro.dynamic`)
+        repairs them in place via
+        :meth:`repro.core.frontier.FrontierAggregates.apply_topology_delta`,
+        and discarding them here would forfeit that repair.  Callers
+        that *cannot* repair must invalidate the frontier themselves.
+        """
+        self._agg_token = _STALE
 
     def _aggregate(
         self, key: str, compute: Callable[[], np.ndarray]

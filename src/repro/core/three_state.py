@@ -30,6 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.frontier import FrontierAggregates, resolve_engine
+from repro.core.neighbor_ops import NeighborOps
 from repro.core.process import MISProcess
 from repro.core.states import BLACK0, BLACK1, WHITE, validate_three_state
 from repro.graphs.graph import Graph
@@ -91,8 +92,9 @@ class ThreeStateMIS(MISProcess):
         init: np.ndarray | str | None = None,
         backend: str = "auto",
         engine: str = "auto",
+        ops: "NeighborOps | None" = None,
     ) -> None:
-        super().__init__(graph, coins, backend)
+        super().__init__(graph, coins, backend, ops=ops)
         self.states = resolve_three_state_init(init, self.n, self.coins)
         self.engine = resolve_engine(engine)
 

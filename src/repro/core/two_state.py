@@ -26,6 +26,7 @@ from collections.abc import Iterable
 import numpy as np
 
 from repro.core.frontier import FrontierAggregates, resolve_engine
+from repro.core.neighbor_ops import NeighborOps
 from repro.core.process import MISProcess
 from repro.core.states import validate_two_state
 from repro.graphs.graph import Graph
@@ -95,8 +96,9 @@ class TwoStateMIS(MISProcess):
         backend: str = "auto",
         eager_white_promotion: bool = False,
         engine: str = "auto",
+        ops: "NeighborOps | None" = None,
     ) -> None:
-        super().__init__(graph, coins, backend)
+        super().__init__(graph, coins, backend, ops=ops)
         self.black = resolve_two_state_init(init, self.n, self.coins)
         self.eager_white_promotion = bool(eager_white_promotion)
         self.engine = resolve_engine(engine)
@@ -112,6 +114,12 @@ class TwoStateMIS(MISProcess):
     def _state_changed(self) -> None:
         self._active_idx = None
         super()._state_changed()
+
+    def _topology_changed(self) -> None:
+        # A_t depends on the adjacency, so the maintained index set is
+        # no longer trustworthy after an edge delta.
+        self._active_idx = None
+        super()._topology_changed()
 
     def _frontier_aggregates(self) -> FrontierAggregates | None:
         if self.engine == "full":

@@ -48,6 +48,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     exp_three_state,
     exp_ablation,
     exp_scaling,
+    exp_churn,
 )
 
 __all__ = [

@@ -445,6 +445,56 @@ class Graph:
             np.concatenate([vs, np.array(add_vs, dtype=np.int64)]),
         )
 
+    def with_edge_deltas(
+        self,
+        add_us: np.ndarray,
+        add_vs: np.ndarray,
+        rem_us: np.ndarray,
+        rem_vs: np.ndarray,
+    ) -> "Graph":
+        """A new graph with an edge delta applied: ``(E \\ rem) ∪ add``.
+
+        ``add_us``/``add_vs`` and ``rem_us``/``rem_vs`` are parallel
+        endpoint arrays over *undirected* pairs (either orientation).
+        Removals absent from the graph and additions already present
+        are ignored; duplicates collapse.  This is the compaction
+        primitive of the dynamic overlay
+        (:mod:`repro.dynamic.overlay`), which folds an accumulated
+        delta log back into a fresh CSR with a few numpy set
+        operations instead of per-edge Python work.
+        """
+        n = self._n
+        add_us = np.asarray(add_us, dtype=np.int64).ravel()
+        add_vs = np.asarray(add_vs, dtype=np.int64).ravel()
+        rem_us = np.asarray(rem_us, dtype=np.int64).ravel()
+        rem_vs = np.asarray(rem_vs, dtype=np.int64).ravel()
+        for us_, vs_ in ((add_us, add_vs), (rem_us, rem_vs)):
+            if us_.shape != vs_.shape:
+                raise ValueError("endpoint arrays must be equal-length")
+            if us_.size:
+                if (
+                    int(us_.min()) < 0
+                    or int(vs_.min()) < 0
+                    or max(int(us_.max()), int(vs_.max())) >= n
+                ):
+                    raise ValueError(f"edge endpoint out of range for n={n}")
+                if np.any(us_ == vs_):
+                    raise ValueError("self-loops are not allowed")
+        us, vs = self.edge_arrays()
+        keys = us * np.int64(n) + vs  # us < vs: sorted undirected keys
+        if rem_us.size:
+            rem_keys = np.minimum(rem_us, rem_vs) * np.int64(n) + np.maximum(
+                rem_us, rem_vs
+            )
+            keys = keys[~np.isin(keys, rem_keys)]
+        if add_us.size:
+            add_keys = np.minimum(add_us, add_vs) * np.int64(n) + np.maximum(
+                add_us, add_vs
+            )
+            keys = np.union1d(keys, add_keys)  # sorted + deduplicated
+        lo, hi = np.divmod(keys, np.int64(n))
+        return Graph._from_arrays(n, lo, hi)
+
     def relabeled(self, perm: Sequence[int]) -> "Graph":
         """Graph with vertex ``u`` renamed to ``perm[u]``.
 

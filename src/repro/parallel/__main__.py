@@ -16,7 +16,10 @@ recovery path — a chaos-killed worker (respawn + retry), a hang past
 the per-shard deadline (straggler kill + in-process degradation), and
 a poisoned result (quarantine + retry) — and requires the results to
 be bitwise-identical to the fault-free serial reference, with no
-leaked segments and no zombie workers.
+leaked segments and no zombie workers.  It finishes with the service
+drill: a checkpointed :class:`~repro.dynamic.service.MISService` is
+chaos-killed (and journal-torn) mid-stream and must resume to the
+bitwise-identical trajectory of an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -127,6 +130,58 @@ def doctor() -> int:
     return 0 if healthy else 1
 
 
+def _service_chaos_smoke() -> bool:
+    """Kill a checkpointed MISService mid-stream; resume must be bitwise.
+
+    The service analogue of the worker drills: a scripted
+    ``ServiceChaosPolicy`` kills the daemon at one offset and tears the
+    journal tail at another, and the restarted incarnations must finish
+    with the state vector, per-event records, round counter, and MIS of
+    an uninterrupted run — exactly.
+    """
+    import os
+    import tempfile
+
+    from repro.dynamic import MISService, make_stream, run_with_chaos
+    from repro.graphs.random_graphs import gnp_random_graph
+    from repro.parallel.chaos import ServiceChaosPolicy
+
+    n, events = 192, 48
+    graph = gnp_random_graph(n, 3.0 / n, rng=11)
+    stream = make_stream("uniform", n, seed=7)
+    ref = MISService(graph, stream, seed=5)
+    ref.run(events)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "service.ckpt")
+        chaos = ServiceChaosPolicy.scripted(
+            {(events // 3, 0): "kill", (2 * events // 3, 0): "poison"}
+        )
+
+        def make_service() -> MISService:
+            return MISService(
+                graph, stream, seed=5, checkpoint=path, checkpoint_every=4
+            )
+
+        service, restarts = run_with_chaos(make_service, events, chaos)
+        ok = (
+            restarts == 2
+            and np.array_equal(
+                ref._state_arrays()[0], service._state_arrays()[0]
+            )
+            and [r.to_dict() for r in ref.records]
+            == [r.to_dict() for r in service.records]
+            and ref.proc.round == service.proc.round
+            and np.array_equal(ref.mis(), service.mis())
+        )
+        service.close()
+    print(
+        f"  service: {'bitwise-equal' if ok else 'MISMATCH'} after "
+        f"{restarts} kill/poison restarts over {events} events"
+    )
+    return ok
+
+
 def chaos_smoke(
     worker_counts: list[int], replicas: int, deadline: float
 ) -> int:
@@ -196,6 +251,7 @@ def chaos_smoke(
             if kind not in kinds:
                 print(f"  MISSING recovery path: {kind}")
                 failed = True
+    failed |= not _service_chaos_smoke()
     leaked = leaked_segments()
     if leaked:
         print(f"  LEAKED segments: {leaked}")

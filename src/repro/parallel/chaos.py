@@ -157,3 +157,99 @@ class ChaosPolicy:
             if draw < threshold:
                 return kind
         return None
+
+
+@dataclass(frozen=True)
+class ServiceChaosPolicy:
+    """Churn-aware fault injection for :class:`repro.dynamic.service.MISService`.
+
+    The service analogue of :class:`ChaosPolicy`, keyed by
+    ``(stream_offset, attempt)`` instead of ``(shard, attempt)``: the
+    *offset* is the mutation-stream position the service is about to
+    consume, and the *attempt* counts how many times this offset has
+    been reached across kill/resume cycles.  Faults fire *before* the
+    event is applied — events are atomic — so a killed service resumes
+    from its checkpoint and replays the offset bitwise-identically.
+
+    Fault semantics (implemented in ``MISService.run``):
+
+    ========  ========================================================
+    fault     service behavior
+    ========  ========================================================
+    "kill"    close the journal and raise ``ServiceKilledError``
+    "poison"  tear the journal tail (a torn, newline-less fragment —
+              see ``CheckpointJournal.tear_tail``), then die as "kill"
+    "hang"    sleep ``hang_seconds`` before the event (liveness blip)
+    "slow"    sleep ``slow_seconds`` before the event
+    ========  ========================================================
+
+    ``max_faulty_attempts`` (default 1) bounds faults per offset, so a
+    restarting driver (:func:`repro.dynamic.service.run_with_chaos`)
+    always terminates.
+    """
+
+    seed: int = 0
+    kill: float = 0.0
+    hang: float = 0.0
+    poison: float = 0.0
+    slow: float = 0.0
+    max_faulty_attempts: int | None = 1
+    hang_seconds: float = 0.05
+    slow_seconds: float = 0.01
+    plan: Mapping[tuple[int, int], str] | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        rates = (self.kill, self.hang, self.poison, self.slow)
+        if any(r < 0 for r in rates) or sum(rates) > 1.0 + 1e-9:
+            raise ValueError(
+                "fault rates must be >= 0 and sum to at most 1; got "
+                f"kill={self.kill} hang={self.hang} "
+                f"poison={self.poison} slow={self.slow}"
+            )
+        if self.plan is not None:
+            for (offset, attempt), fault in self.plan.items():
+                if fault not in FAULT_KINDS:
+                    raise ValueError(
+                        f"unknown fault {fault!r} for offset {offset} "
+                        f"attempt {attempt}; expected one of {FAULT_KINDS}"
+                    )
+
+    @classmethod
+    def scripted(
+        cls,
+        plan: Mapping[tuple[int, int], str],
+        *,
+        hang_seconds: float = 0.05,
+        slow_seconds: float = 0.01,
+        seed: int = 0,
+    ) -> "ServiceChaosPolicy":
+        """Build an explicit ``{(offset, attempt): fault}`` policy."""
+        return cls(
+            seed=seed,
+            plan=dict(plan),
+            hang_seconds=hang_seconds,
+            slow_seconds=slow_seconds,
+        )
+
+    def fault_for(self, offset: int, attempt: int) -> str | None:
+        """The fault to inject at ``(stream offset, attempt)``, if any.
+
+        A pure function of ``(self, offset, attempt)`` — same SHA-512
+        string-seeding discipline as :meth:`ChaosPolicy.fault_for`, on
+        a disjoint key namespace (``"svc"``), so a shared seed never
+        correlates worker faults with service faults.
+        """
+        if self.plan is not None:
+            return self.plan.get((int(offset), int(attempt)))
+        if (
+            self.max_faulty_attempts is not None
+            and attempt >= self.max_faulty_attempts
+        ):
+            return None
+        draw = random.Random(f"{self.seed}:svc:{offset}:{attempt}").random()
+        threshold = 0.0
+        for kind in FAULT_KINDS:
+            threshold += getattr(self, kind)
+            if draw < threshold:
+                return kind
+        return None

@@ -29,9 +29,10 @@ key                    value
 Robustness properties:
 
 * **Torn tails tolerated.**  A crash mid-append leaves a truncated
-  final line; replay stops at the first undecodable line and the unit
-  is simply re-run.  (Append-then-fsync means at most the *last* line
-  can be torn.)
+  final line; replay stops at the first undecodable line, truncates
+  the fragment from disk (so later appends cannot merge into it and
+  vanish from future replays), and the unit is simply re-run.
+  (Append-then-fsync means at most the *last* line can be torn.)
 * **Fingerprint checked.**  Resuming against a journal whose header
   fingerprint does not match the campaign raises
   :class:`CheckpointMismatchError` instead of silently splicing
@@ -143,11 +144,11 @@ class CheckpointJournal:
         self._closed = False
 
     def _replay(self) -> None:
-        with open(self.path, "r", encoding="utf-8") as fh:
-            lines = fh.read().splitlines()
+        raw = self.path.read_bytes()
+        lines = raw.split(b"\n")
         try:
             header = json.loads(lines[0])
-        except (json.JSONDecodeError, IndexError) as exc:
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise CheckpointError(
                 f"{self.path}: unreadable journal header"
             ) from exc
@@ -168,16 +169,28 @@ class CheckpointJournal:
                 f"{self.fingerprint!r:.20}); pass resume=False (or the "
                 "CLI's plain --checkpoint without --resume) to start over"
             )
-        for line in lines[1:]:
+        # Only newline-terminated lines count: split() leaves whatever
+        # followed the final "\n" — a torn fragment, or b"" for a clean
+        # file — as the last element, which is never replayed.
+        good_end = len(lines[0]) + 1
+        for line in lines[1:-1]:
             try:
                 entry = json.loads(line)
-            except json.JSONDecodeError:
+            except (json.JSONDecodeError, UnicodeDecodeError):
                 # Torn tail from a crash mid-append: everything before
                 # it was fsync-framed, so stop here and re-run the rest.
                 break
             if not isinstance(entry, dict) or "key" not in entry:
                 break
             self._entries[entry["key"]] = _decode_value(entry.get("value"))
+            good_end += len(line) + 1
+        if good_end < len(raw):
+            # Drop the torn fragment *on disk*, not just in replay —
+            # otherwise the very next append would merge into the
+            # garbage line and hide every later entry from future
+            # replays (the resume-after-poison chaos path).
+            with open(self.path, "rb+") as fh:
+                fh.truncate(good_end)
 
     def _append(self, record: Mapping[str, Any]) -> None:
         self._file.write(
@@ -220,6 +233,20 @@ class CheckpointJournal:
     def scoped(self, prefix: str) -> "CheckpointView":
         """A key-prefixed view (for nested campaign structure)."""
         return CheckpointView(self, prefix)
+
+    def tear_tail(self) -> None:
+        """Append a deliberately torn (truncated, newline-less) record.
+
+        Chaos-testing hook (:mod:`repro.parallel.chaos`): simulates a
+        crash mid-append so resume paths can prove they tolerate a torn
+        tail.  The next replay discards the fragment and truncates it
+        from disk.
+        """
+        if self._closed:
+            raise CheckpointError(f"{self.path}: journal is closed")
+        self._file.write('{"key": "torn-')
+        self._file.flush()
+        os.fsync(self._file.fileno())
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
@@ -273,6 +300,15 @@ class CheckpointView:
 
     def __contains__(self, key: object) -> bool:
         return (self.prefix + str(key)) in self.journal
+
+    def keys(self) -> Iterator[str]:
+        """Journaled keys under the view's prefix (prefix stripped)."""
+        plen = len(self.prefix)
+        return (
+            k[plen:]
+            for k in self.journal.keys()
+            if k.startswith(self.prefix)
+        )
 
     def scoped(self, prefix: str) -> "CheckpointView":
         """A further-nested view (prefixes concatenate)."""

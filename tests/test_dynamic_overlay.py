@@ -1,0 +1,452 @@
+"""DeltaOverlay/DeltaNeighborOps correctness and the repair==rebuild law.
+
+Two layers of guarantees:
+
+* The overlay is an exact mutable view: every query (``has_edge``,
+  ``neighbors_of``, ``degrees``, ``count``, ``gather``,
+  ``apply_count_delta``) answers identically to a from-scratch
+  immutable :class:`~repro.graphs.graph.Graph` built from the same
+  edge set, before and after compaction.
+* The frontier's incremental topology repair is exact: after *any*
+  mutation sequence — random edge flips, vertex churn, corrupted
+  states, interleaved rounds, 2-state and 3-state — the repaired
+  :class:`~repro.core.frontier.FrontierAggregates` are bitwise-identical
+  to a from-scratch ``rebuild()`` on the snapshot graph.  Hypothesis
+  drives the sequences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.frontier import FrontierAggregates
+from repro.core.neighbor_ops import make_neighbor_ops
+from repro.core.two_state import TwoStateMIS
+from repro.dynamic import (
+    DeltaNeighborOps,
+    DeltaOverlay,
+    MISService,
+    MutationEvent,
+    ScriptedStream,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.random_graphs import gnp_random_graph
+
+
+def edge_set(graph: Graph) -> set:
+    us, vs = graph.edge_arrays()
+    return set(zip(us.tolist(), vs.tolist()))
+
+
+def overlay_edge_set(overlay: DeltaOverlay) -> set:
+    return edge_set(overlay.snapshot())
+
+
+# ---------------------------------------------------------------------------
+# DeltaOverlay vs a pure-python reference edge set
+# ---------------------------------------------------------------------------
+
+
+class TestDeltaOverlay:
+    def test_toggles_match_reference(self):
+        graph = gnp_random_graph(30, 0.15, rng=0)
+        overlay = DeltaOverlay(graph)
+        ref = edge_set(graph)
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            u, v = rng.integers(0, 30, size=2)
+            if u == v:
+                continue
+            key = (min(int(u), int(v)), max(int(u), int(v)))
+            if rng.random() < 0.5:
+                changed = overlay.add_edge(u, v)
+                assert changed == (key not in ref)
+                ref.add(key)
+            else:
+                changed = overlay.remove_edge(u, v)
+                assert changed == (key in ref)
+                ref.discard(key)
+            assert overlay.m == len(ref)
+            assert overlay.has_edge(u, v) == ((key[0], key[1]) in ref)
+        assert overlay_edge_set(overlay) == ref
+        # Invariants: added disjoint from base, removed subset of base.
+        base_keys = {u * overlay.n + v for u, v in edge_set(overlay.base)}
+        assert not (overlay._added & base_keys)
+        assert overlay._removed <= base_keys
+
+    def test_flapping_never_grows_delta(self):
+        graph = gnp_random_graph(20, 0.2, rng=3)
+        overlay = DeltaOverlay(graph)
+        us, vs = graph.edge_arrays()
+        u, v = int(us[0]), int(vs[0])
+        for _ in range(10):
+            assert overlay.remove_edge(u, v)
+            assert overlay.delta_size() == 1
+            assert overlay.add_edge(u, v)
+            assert overlay.delta_size() == 0
+
+    def test_neighbors_and_degrees(self):
+        graph = gnp_random_graph(25, 0.2, rng=5)
+        overlay = DeltaOverlay(graph)
+        rng = np.random.default_rng(7)
+        for _ in range(120):
+            u, v = rng.integers(0, 25, size=2)
+            if u == v:
+                continue
+            if rng.random() < 0.5:
+                overlay.add_edge(u, v)
+            else:
+                overlay.remove_edge(u, v)
+        snap = overlay.snapshot()
+        for u in range(25):
+            np.testing.assert_array_equal(
+                overlay.neighbors_of(u), np.sort(snap._row(u))
+            )
+        np.testing.assert_array_equal(overlay.degrees(), snap.degrees())
+        assert overlay.volume() == 2 * snap.m
+
+    def test_vertex_churn(self):
+        graph = gnp_random_graph(16, 0.3, rng=2)
+        overlay = DeltaOverlay(graph)
+        deg_before = int(overlay.degrees()[3])
+        rem_us, rem_vs = overlay.remove_vertex(3)
+        assert rem_us.size == deg_before
+        assert not overlay.alive[3]
+        assert overlay.neighbors_of(3).size == 0
+        assert overlay.degrees()[3] == 0
+        add_us, add_vs = overlay.add_vertex(3, (0, 1, 1, 3, 5))
+        assert overlay.alive[3]
+        # Self-loop and duplicate skipped; edges {3,0}, {3,1}, {3,5}.
+        assert sorted(add_vs.tolist()) == [0, 1, 5]
+        np.testing.assert_array_equal(
+            overlay.neighbors_of(3), np.array([0, 1, 5])
+        )
+
+    def test_apply_event_returns_effective_delta(self):
+        graph = gnp_random_graph(12, 0.3, rng=4)
+        overlay = DeltaOverlay(graph)
+        us, vs = graph.edge_arrays()
+        u, v = int(us[0]), int(vs[0])
+        # Adding a present edge is a no-op: four empty arrays.
+        out = overlay.apply_event(MutationEvent("add-edge", u, v))
+        assert all(a.size == 0 for a in out)
+        au, av, ru, rv = overlay.apply_event(MutationEvent("del-edge", u, v))
+        assert (ru.tolist(), rv.tolist()) == ([u], [v])
+        with pytest.raises(ValueError):
+            overlay.apply_event(MutationEvent("frobnicate", 0))
+
+    def test_compaction_is_representation_only(self):
+        graph = gnp_random_graph(24, 0.2, rng=9)
+        overlay = DeltaOverlay(graph, compact_fraction=0.01)
+        degrees_obj = overlay.degrees()
+        rng = np.random.default_rng(11)
+        for _ in range(60):
+            u, v = rng.integers(0, 24, size=2)
+            if u == v:
+                continue
+            before = overlay_edge_set(overlay)
+            if rng.random() < 0.5:
+                overlay.add_edge(u, v)
+            else:
+                overlay.remove_edge(u, v)
+            if overlay.should_compact():
+                after = overlay_edge_set(overlay)
+                overlay.compact()
+                assert overlay.delta_size() == 0
+                assert edge_set(overlay.base) == after
+                # The degrees array object survives compaction.
+                assert overlay.degrees() is degrees_obj
+        assert overlay.compactions > 0
+
+    def test_rejects_bad_vertices_and_self_loops(self):
+        overlay = DeltaOverlay(gnp_random_graph(8, 0.2, rng=0))
+        with pytest.raises(IndexError):
+            overlay.add_edge(0, 8)
+        with pytest.raises(IndexError):
+            overlay.remove_edge(-1, 2)
+        with pytest.raises(ValueError):
+            overlay.add_edge(3, 3)
+        assert not overlay.has_edge(3, 3)
+        assert not overlay.has_edge(0, 99)
+
+
+# ---------------------------------------------------------------------------
+# DeltaNeighborOps vs the static backends on the snapshot graph
+# ---------------------------------------------------------------------------
+
+
+def churned_overlay(n=28, p=0.15, steps=150, seed=13):
+    overlay = DeltaOverlay(gnp_random_graph(n, p, rng=seed))
+    rng = np.random.default_rng(seed + 1)
+    for _ in range(steps):
+        u, v = rng.integers(0, n, size=2)
+        if u == v:
+            continue
+        if rng.random() < 0.5:
+            overlay.add_edge(u, v)
+        else:
+            overlay.remove_edge(u, v)
+    return overlay
+
+
+class TestDeltaNeighborOps:
+    def test_count_matches_snapshot_backend(self):
+        overlay = churned_overlay()
+        ops = DeltaNeighborOps(overlay)
+        snap_ops = make_neighbor_ops(overlay.snapshot())
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            mask = rng.random(overlay.n) < rng.random()
+            np.testing.assert_array_equal(
+                ops.count(mask), snap_ops.count(mask)
+            )
+
+    def test_gather_matches_snapshot(self):
+        overlay = churned_overlay(seed=21)
+        ops = DeltaNeighborOps(overlay)
+        snap = overlay.snapshot()
+        snap_ops = make_neighbor_ops(snap)
+        rng = np.random.default_rng(3)
+        verts = np.unique(rng.integers(0, overlay.n, size=10))
+        got = np.sort(ops.gather(verts))
+        want = np.sort(snap_ops.gather(verts))
+        np.testing.assert_array_equal(got, want)
+
+    def test_apply_count_delta_matches(self):
+        overlay = churned_overlay(seed=31)
+        ops = DeltaNeighborOps(overlay)
+        snap_ops = make_neighbor_ops(overlay.snapshot())
+        rng = np.random.default_rng(4)
+        counts_a = np.zeros(overlay.n, dtype=np.int64)
+        counts_b = np.zeros(overlay.n, dtype=np.int64)
+        up = np.unique(rng.integers(0, overlay.n, size=6))
+        down = np.unique(rng.integers(0, overlay.n, size=4))
+        ops.apply_count_delta(counts_a, up, down)
+        snap_ops.apply_count_delta(counts_b, up, down)
+        np.testing.assert_array_equal(counts_a, counts_b)
+
+    def test_rebase_after_compaction(self):
+        overlay = churned_overlay(seed=41)
+        ops = DeltaNeighborOps(overlay)
+        mask = np.arange(overlay.n) % 3 == 0
+        before = ops.count(mask)
+        overlay.compact()
+        ops.rebase()
+        assert ops.graph is overlay.base
+        np.testing.assert_array_equal(ops.count(mask), before)
+
+    def test_inherited_reductions(self):
+        overlay = churned_overlay(seed=51)
+        ops = DeltaNeighborOps(overlay)
+        snap_ops = make_neighbor_ops(overlay.snapshot())
+        mask = np.arange(overlay.n) % 2 == 0
+        np.testing.assert_array_equal(ops.exists(mask), snap_ops.exists(mask))
+        np.testing.assert_array_equal(
+            ops.degrees(), overlay.snapshot().degrees()
+        )
+        assert ops.volume() == 2 * overlay.m
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: incremental topology repair == from-scratch rebuild
+# ---------------------------------------------------------------------------
+
+#: One mutation as draw-friendly integers: (op, a, b).  ``op`` selects
+#: edge-toggle / vertex-kill / vertex-revive / state-corruption /
+#: round-step; a and b are reduced mod n at application time.
+MUTATIONS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _assert_repair_matches_rebuild(service: MISService) -> None:
+    """The engine's repaired aggregates == a from-scratch rebuild."""
+    proc = service.proc
+    frontier = proc._frontier
+    token, black, aux = service._state_arrays()
+    if frontier is None or frontier.token is not token:
+        return  # nothing incremental to audit
+    snap = service.overlay.snapshot()
+    ref = FrontierAggregates(
+        snap, make_neighbor_ops(snap), track_aux=frontier.track_aux
+    )
+    ref.rebuild(black, token, aux=aux)
+    np.testing.assert_array_equal(frontier.counts, ref.counts)
+    np.testing.assert_array_equal(frontier.has_black, ref.has_black)
+    np.testing.assert_array_equal(frontier.stable, ref.stable)
+    np.testing.assert_array_equal(frontier.covered, ref.covered)
+    assert frontier.unstable_total == ref.unstable_total
+    if frontier.track_aux:
+        np.testing.assert_array_equal(frontier.aux_counts, ref.aux_counts)
+        np.testing.assert_array_equal(frontier.aux_has, ref.aux_has)
+
+
+def _drive(process: str, n: int, p_seed: int, moves) -> None:
+    graph = gnp_random_graph(n, 0.2, rng=p_seed)
+    events = []
+    for op, a, b in moves:
+        u, v = a % n, b % n
+        if op <= 5:  # edge toggles dominate the mix
+            if u != v:
+                events.append(MutationEvent("toggle", u, v))
+        elif op == 6:
+            events.append(MutationEvent("del-vertex", u))
+        elif op == 7:
+            events.append(
+                MutationEvent("add-vertex", u, neighbors=(v, (v + 1) % n))
+            )
+        else:
+            events.append(MutationEvent("corrupt-or-step", u, v))
+    if not events:
+        return
+    service = MISService(
+        graph,
+        ScriptedStream(n, [MutationEvent("add-edge", 0, 1)]),  # placeholder
+        seed=p_seed,
+        process=process,
+        settle_every=3,
+        compact_fraction=0.5,
+    )
+    rng = np.random.default_rng(p_seed)
+    for event in events:
+        if event.kind == "toggle":
+            kind = (
+                "del-edge"
+                if service.overlay.has_edge(event.u, event.v)
+                else "add-edge"
+            )
+            real = MutationEvent(kind, event.u, event.v)
+        elif event.kind == "corrupt-or-step":
+            # Corruption (stale token → rebuild path) or a plain round
+            # (advance path); both must leave repair exact afterwards.
+            if event.v % 2:
+                if process == "3-state":
+                    states = rng.integers(0, 3, size=n).astype(np.int8)
+                    service.proc.corrupt(states)
+                else:
+                    service.proc.corrupt(rng.random(n) < 0.5)
+            else:
+                service.proc.step()
+            _assert_repair_matches_rebuild(service)
+            continue
+        else:
+            real = event
+        service.apply_event(real)
+        _assert_repair_matches_rebuild(service)
+    # Drain to stability and audit once more.
+    service.proc.step(5)
+    _assert_repair_matches_rebuild(service)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    moves=MUTATIONS,
+    n=st.integers(min_value=2, max_value=24),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_repair_matches_rebuild_two_state(moves, n, seed):
+    _drive("2-state", n, seed, moves)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    moves=MUTATIONS,
+    n=st.integers(min_value=2, max_value=24),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_repair_matches_rebuild_three_state(moves, n, seed):
+    _drive("3-state", n, seed, moves)
+
+
+def test_direct_topology_delta_actions():
+    """apply_topology_delta's three outcomes, pinned deterministically."""
+    graph = gnp_random_graph(40, 0.1, rng=17)
+    overlay = DeltaOverlay(graph)
+    ops = DeltaNeighborOps(overlay)
+    proc = TwoStateMIS(graph, coins=3, ops=ops)
+    proc.run(max_rounds=500)
+    frontier = proc._frontier_aggregates()
+    assert frontier is not None and frontier.token is proc.black
+    empty = np.zeros(0, dtype=np.int64)
+
+    # Adding an edge between two non-stable-adjacent vertices: repair.
+    white = np.flatnonzero(~proc.black)
+    if white.size >= 2:
+        u, v = int(white[0]), int(white[1])
+        if not overlay.has_edge(u, v):
+            overlay.add_edge(u, v)
+            action = frontier.apply_topology_delta(
+                proc.black,
+                np.array([u]), np.array([v]), empty, empty,
+                token=proc.black,
+            )
+            assert action in ("repair", "repair+recover")
+            proc._topology_changed()
+            _assert_frontier_exact(overlay, frontier, proc.black)
+
+    # Deleting an edge incident to a stable vertex: repair+recover.
+    stable = np.flatnonzero(frontier.stable)
+    u = int(stable[0])
+    nbrs = overlay.neighbors_of(u)
+    if nbrs.size:
+        v = int(nbrs[0])
+        overlay.remove_edge(u, v)
+        action = frontier.apply_topology_delta(
+            proc.black,
+            empty, empty, np.array([u]), np.array([v]),
+            token=proc.black,
+        )
+        assert action == "repair+recover"
+        proc._topology_changed()
+        _assert_frontier_exact(overlay, frontier, proc.black)
+
+    # A stale token always falls back to rebuild.
+    frontier.invalidate()
+    action = frontier.apply_topology_delta(
+        proc.black, empty, empty, empty, empty, token=proc.black
+    )
+    assert action == "rebuild"
+    assert frontier.topology_rebuilds >= 1
+    assert frontier.topology_repairs >= 1
+
+
+def _assert_frontier_exact(overlay, frontier, black):
+    snap = overlay.snapshot()
+    ref = FrontierAggregates(snap, make_neighbor_ops(snap))
+    ref.rebuild(black, black)
+    np.testing.assert_array_equal(frontier.counts, ref.counts)
+    np.testing.assert_array_equal(frontier.stable, ref.stable)
+    np.testing.assert_array_equal(frontier.covered, ref.covered)
+    assert frontier.unstable_total == ref.unstable_total
+
+
+def test_huge_delta_falls_back_to_rebuild():
+    """A delta bigger than the scatter threshold rebuilds (adaptive)."""
+    graph = gnp_random_graph(30, 0.4, rng=23)
+    overlay = DeltaOverlay(graph)
+    ops = DeltaNeighborOps(overlay)
+    proc = TwoStateMIS(graph, coins=5, ops=ops)
+    proc.run(max_rounds=500)
+    frontier = proc._frontier_aggregates()
+    assert frontier is not None
+    rem_us, rem_vs = overlay.remove_vertex(int(np.argmax(overlay.degrees())))
+    # Hand the frontier a delta worth more than crossover * volume.
+    while frontier.changed_volume(
+        np.concatenate((rem_us, rem_vs))
+    ) <= frontier._threshold:
+        u = int(np.argmax(overlay.degrees()))
+        ru, rv = overlay.remove_vertex(u)
+        rem_us = np.concatenate((rem_us, ru))
+        rem_vs = np.concatenate((rem_vs, rv))
+    empty = np.zeros(0, dtype=np.int64)
+    action = frontier.apply_topology_delta(
+        proc.black, empty, empty, rem_us, rem_vs, token=proc.black
+    )
+    assert action == "rebuild"
+    _assert_frontier_exact(overlay, frontier, proc.black)

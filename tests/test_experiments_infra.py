@@ -126,7 +126,7 @@ class TestAsciiPlot:
 class TestRegistry:
     def test_all_experiments_registered(self):
         ids = [eid for eid, _ in list_experiments()]
-        assert ids == [f"E{i}" for i in range(1, 20)]
+        assert ids == [f"E{i}" for i in range(1, 21)]
 
     def test_get_unknown_raises(self):
         with pytest.raises(KeyError):

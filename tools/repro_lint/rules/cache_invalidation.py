@@ -139,6 +139,7 @@ class CacheInvalidationRule(Rule):
     # fresh), so only the cache-bearing layers are in scope by default.
     default_paths = (
         "src/repro/core",
+        "src/repro/dynamic",
         "src/repro/graphs",
         "src/repro/models",
         "src/repro/sim",
